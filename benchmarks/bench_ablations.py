@@ -1,0 +1,146 @@
+"""A1–A4 — ablations of the design choices DESIGN.md calls out.
+
+* A1 bit-parallel multi-state traversal vs node-at-a-time product BFS;
+* A2 wavelet-node ``B[v]``/``D[v]`` pruning on vs off;
+* A3 the §5 fast paths for short patterns on vs off;
+* A4 the start-side cardinality planner on vs off.
+
+Each ablation runs the same query set on both engine configurations;
+the assertions check result equality (an ablation must never change
+answers), and the benchmark groups expose the cost difference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.base import EncodedGraph
+from repro.baselines.product_bfs import ProductBFSEngine
+from repro.core.engine import RingRPQEngine
+
+#: Multi-state queries: several NFA states active at once, which is
+#: where the bit-parallel representation earns its keep.  The last
+#: three are *ambiguous* expressions (the same graph path drives many
+#: NFA states simultaneously): on those the ring visits ~3x fewer
+#: (node, state-set) expansions than the node-at-a-time product BFS.
+MULTISTATE_QUERIES = [
+    "(?x, (p1|p2|p3)+, n0)",
+    "(?x, p1/p0*/p2?, n0)",
+    "(?x, p0*/p1*/p2*, n1)",
+    "(n2, (p0/p1)+|p2+, ?y)",
+    "(?x, (p0/p0/p0)|(p0/p0)|p0, n0)",
+    "(?x, p0?/p0?/p0?/p0?, n1)",
+    "(?x, (p0|p0/p0)+, n0)",
+]
+
+SHORT_QUERIES = [
+    "(?x, p1, ?y)",
+    "(?x, ^p2, ?y)",
+    "(?x, p1|p2, ?y)",
+    "(?x, p1/p2, ?y)",
+]
+
+PLANNED_QUERIES = [
+    "(?x, p9/p0*, ?y)",
+    "(?x, p0*/p9, ?y)",
+    "(?x, p12/p1*, ?y)",
+]
+
+
+def _run(engine, queries, timeout=10.0, limit=50_000):
+    answers = []
+    for query in queries:
+        answers.append(
+            frozenset(engine.evaluate(query, timeout=timeout,
+                                      limit=limit).pairs)
+        )
+    return answers
+
+
+@pytest.mark.parametrize("config", ["bitparallel-ring", "node-at-a-time"])
+def test_a1_bitparallel_vs_classical(benchmark, bench_index, config):
+    benchmark.group = "A1-bitparallel"
+    if config == "bitparallel-ring":
+        engine = RingRPQEngine(bench_index)
+    else:
+        engine = ProductBFSEngine(EncodedGraph.from_index(bench_index))
+    answers = benchmark.pedantic(
+        _run, args=(engine, MULTISTATE_QUERIES), rounds=1, iterations=1
+    )
+    assert len(answers) == len(MULTISTATE_QUERIES)
+
+
+def test_a1_answers_agree(bench_index):
+    ring = RingRPQEngine(bench_index)
+    classical = ProductBFSEngine(EncodedGraph.from_index(bench_index))
+    assert _run(ring, MULTISTATE_QUERIES) == \
+        _run(classical, MULTISTATE_QUERIES)
+
+
+def test_a1_multistate_visits_fewer_nodes(bench_index):
+    """The paper's bit-parallel claim: processing several NFA states at
+    once means fewer (node, state) expansions than the classical BFS —
+    dramatically so on ambiguous expressions."""
+    ring = RingRPQEngine(bench_index)
+    classical = ProductBFSEngine(EncodedGraph.from_index(bench_index))
+    for query in MULTISTATE_QUERIES[-3:]:
+        ring_nodes = ring.evaluate(query, timeout=30).stats.product_nodes
+        bfs_nodes = classical.evaluate(
+            query, timeout=30
+        ).stats.product_nodes
+        assert ring_nodes < bfs_nodes, query
+
+
+@pytest.mark.parametrize("prune", [True, False],
+                         ids=["prune-on", "prune-off"])
+def test_a2_wavelet_pruning(benchmark, bench_index, prune):
+    benchmark.group = "A2-pruning"
+    engine = RingRPQEngine(bench_index, prune=prune)
+    benchmark.pedantic(
+        _run, args=(engine, MULTISTATE_QUERIES), rounds=1, iterations=1
+    )
+
+
+def test_a2_pruning_reduces_work(bench_index):
+    pruned = RingRPQEngine(bench_index, prune=True)
+    unpruned = RingRPQEngine(bench_index, prune=False)
+    query = MULTISTATE_QUERIES[0]
+    a = pruned.evaluate(query, timeout=10)
+    b = unpruned.evaluate(query, timeout=10)
+    assert a.pairs == b.pairs
+    assert a.stats.wavelet_nodes <= b.stats.wavelet_nodes
+
+
+@pytest.mark.parametrize("fast", [True, False],
+                         ids=["fastpaths-on", "fastpaths-off"])
+def test_a3_fast_paths(benchmark, bench_index, fast):
+    benchmark.group = "A3-fastpaths"
+    engine = RingRPQEngine(bench_index, fast_paths=fast)
+    answers = benchmark.pedantic(
+        _run, args=(engine, SHORT_QUERIES), rounds=1, iterations=1
+    )
+    assert len(answers) == len(SHORT_QUERIES)
+
+
+def test_a3_answers_agree(bench_index):
+    fast = RingRPQEngine(bench_index, fast_paths=True)
+    slow = RingRPQEngine(bench_index, fast_paths=False)
+    assert _run(fast, SHORT_QUERIES) == _run(slow, SHORT_QUERIES)
+
+
+@pytest.mark.parametrize("planned", [True, False],
+                         ids=["planner-on", "planner-off"])
+def test_a4_planner(benchmark, bench_index, planned):
+    benchmark.group = "A4-planner"
+    engine = RingRPQEngine(bench_index, use_planner=planned)
+    answers = benchmark.pedantic(
+        _run, args=(engine, PLANNED_QUERIES), rounds=1, iterations=1
+    )
+    assert len(answers) == len(PLANNED_QUERIES)
+
+
+def test_a4_answers_agree(bench_index):
+    planned = RingRPQEngine(bench_index, use_planner=True)
+    unplanned = RingRPQEngine(bench_index, use_planner=False)
+    assert _run(planned, PLANNED_QUERIES) == \
+        _run(unplanned, PLANNED_QUERIES)

@@ -1,0 +1,32 @@
+"""E4 — §5 in-text: index construction cost.
+
+The paper builds its Wikidata ring in 2.3 hours / 64.75 GB; here the
+equivalent construction (completion, dictionary encoding, three sorts,
+wavelet matrices) is benchmarked at laptop scale, with the ring's
+measured bytes/edge asserted to stay near its packed-form multiple.
+"""
+
+from __future__ import annotations
+
+from repro.bench.space import packed_bytes_per_edge, ring_bytes_per_edge
+from repro.ring.builder import RingIndex
+
+
+def test_ring_construction(benchmark, bench_graph):
+    index = benchmark.pedantic(
+        RingIndex.from_graph, args=(bench_graph,), rounds=2, iterations=1
+    )
+    ratio = ring_bytes_per_edge(index) / packed_bytes_per_edge(index)
+    # Paper: the ring is ~1.9x the packed form.  Our Python build adds
+    # word-granular rank directories, so allow up to 4x.
+    assert ratio < 4.0
+
+
+def test_encoded_graph_construction(benchmark, bench_index):
+    from repro.baselines.base import EncodedGraph
+
+    encoded = benchmark.pedantic(
+        EncodedGraph.from_index, args=(bench_index,), rounds=1,
+        iterations=1,
+    )
+    assert len(encoded.triples) == len(bench_index.ring)

@@ -1,0 +1,74 @@
+"""E3 — Figure 8: per-pattern query-time distributions.
+
+Benchmarks the ring on each pattern *class* separately (one benchmark
+group per pattern family), which is the data behind the paper's
+boxplot figure.  The full multi-engine figure with rendered boxplots
+comes from ``python -m repro.bench.fig8``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from repro.bench.patterns import classify_query
+
+#: Pattern families benchmarked individually; together they cover the
+#: recursive patterns the ring wins in the paper and the join-like
+#: patterns it loses.
+FAMILIES = {
+    "anchored-star": {"v * c", "c * v", "v + c", "c + v"},
+    "anchored-concat-star": {"v /* c", "c /* v", "v */* c",
+                             "v */*/*/* c", "v /+ c", "v /? c"},
+    "join-like": {"v / c", "v / v", "v | v", "v | c", "v ^ v",
+                  "v ^/ v", "v /^ v"},
+    "open-recursive": {"v * v", "v + v", "v /* v"},
+}
+
+
+def _run(engine, queries, timeout, limit):
+    count = 0
+    for query in queries:
+        count += len(engine.evaluate(query, timeout=timeout, limit=limit))
+    return count
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_ring_per_pattern_family(benchmark, bench_context, family):
+    context = bench_context
+    by_family = defaultdict(list)
+    for query in context.queries:
+        pattern = classify_query(query)
+        for name, members in FAMILIES.items():
+            if pattern in members:
+                by_family[name].append(query)
+    queries = by_family[family]
+    assert queries, f"no queries generated for family {family}"
+    benchmark.group = f"fig8-{family}"
+    engine = context.engines["ring"]
+    benchmark.pedantic(
+        _run,
+        args=(engine, queries, context.timeout, context.limit),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("engine_name", ["ring", "alp-blazegraph"])
+def test_recursive_family_engine_duel(benchmark, bench_context,
+                                      engine_name):
+    """The head-to-head the paper highlights: recursive patterns."""
+    context = bench_context
+    recursive = [
+        q for q in context.queries
+        if classify_query(q) in FAMILIES["anchored-star"]
+    ]
+    benchmark.group = "fig8-duel-anchored-star"
+    engine = context.engines[engine_name]
+    benchmark.pedantic(
+        _run,
+        args=(engine, recursive, context.timeout, context.limit),
+        rounds=1,
+        iterations=1,
+    )

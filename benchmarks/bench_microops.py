@@ -1,0 +1,97 @@
+"""Micro-operation costs: the substrate-distortion calibration.
+
+EXPERIMENTS.md explains why the paper's wall-clock ratios cannot
+transfer to pure Python: the ring's elementary operation (a bitvector
+rank inside a wavelet-matrix descent) costs interpreter time, while
+the baselines' elementary operation (a dict/index probe) runs at
+C speed.  These benchmarks measure both, so the distortion factor is a
+number, not an assertion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import EncodedGraph
+from repro.succinct.bitvector import BitVector
+from repro.succinct.wavelet_matrix import WaveletMatrix
+
+
+@pytest.fixture(scope="module")
+def bitvector():
+    rng = np.random.default_rng(0)
+    return BitVector((rng.random(200_000) < 0.5).astype(np.uint8))
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(1)
+    return WaveletMatrix(rng.integers(0, 1024, size=100_000), 1024)
+
+
+def test_bitvector_rank(benchmark, bitvector):
+    benchmark.group = "micro-ops"
+    positions = list(range(0, 200_000, 97))
+
+    def ranks():
+        total = 0
+        for i in positions:
+            total += bitvector.rank1(i)
+        return total
+
+    assert benchmark(ranks) > 0
+
+
+def test_wavelet_rank(benchmark, matrix):
+    benchmark.group = "micro-ops"
+
+    def ranks():
+        total = 0
+        for c in range(0, 1024, 37):
+            total += matrix.rank(c, 50_000)
+        return total
+
+    assert benchmark(ranks) >= 0
+
+
+def test_wavelet_range_distinct(benchmark, matrix):
+    benchmark.group = "micro-ops"
+
+    def distinct():
+        return sum(1 for _ in matrix.range_distinct(1_000, 1_400))
+
+    assert benchmark(distinct) > 0
+
+
+def test_ring_backward_step(benchmark, bench_index):
+    benchmark.group = "micro-ops"
+    ring = bench_index.ring
+
+    def steps():
+        total = 0
+        for o in range(0, ring.num_nodes, 41):
+            b, e = ring.object_range(o)
+            if b == e:
+                continue
+            for p in range(0, ring.num_predicates, 11):
+                bs, es = ring.backward_step(b, e, p)
+                total += es - bs
+        return total
+
+    assert benchmark(steps) >= 0
+
+
+def test_dict_adjacency_probe(benchmark, bench_index):
+    """The baselines' elementary op, for the distortion ratio."""
+    benchmark.group = "micro-ops"
+    encoded = EncodedGraph.from_index(bench_index)
+
+    def probes():
+        total = 0
+        for node in range(0, encoded.num_nodes, 7):
+            for pid in range(0, encoded.num_predicates, 13):
+                total += len(encoded.targets(node, pid))
+        return total
+
+    assert benchmark(probes) >= 0

@@ -1,0 +1,33 @@
+"""E1 — Table 1: query-log generation and pattern classification.
+
+Benchmarks the workload generator and the classifier, and asserts that
+a regenerated log reproduces the paper's pattern histogram (scaled).
+``python -m repro.bench.table1`` prints the full table.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.bench.patterns import TABLE1_REFERENCE, classify_query
+from repro.bench.workload import generate_query_log
+
+
+def test_generate_query_log(benchmark, bench_graph):
+    queries = benchmark(
+        generate_query_log, bench_graph, scale=0.05, seed=0
+    )
+    histogram = Counter(classify_query(q) for q in queries)
+    for pattern, count, _, _, _ in TABLE1_REFERENCE:
+        assert histogram[pattern] == max(1, round(count * 0.05)), pattern
+
+
+def test_classify_log(benchmark, bench_graph):
+    queries = generate_query_log(bench_graph, scale=0.1, seed=1)
+
+    def classify_all():
+        return [classify_query(q) for q in queries]
+
+    patterns = benchmark(classify_all)
+    assert len(patterns) == len(queries)
+    assert set(patterns) <= {p for p, _, _, _, _ in TABLE1_REFERENCE}

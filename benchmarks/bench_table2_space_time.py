@@ -1,0 +1,47 @@
+"""E2 — Table 2: index space and per-engine query times.
+
+One benchmark per Table 2 engine running the same (scaled) Table 1-mix
+query log, plus a space check asserting the paper's headline ordering:
+the ring is several times smaller than every alternative.  The wide
+run behind EXPERIMENTS.md is ``python -m repro.bench.table2``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.registry import TABLE2_ENGINES
+from repro.bench.space import engine_bytes_per_edge, ring_bytes_per_edge
+
+
+def _run_log(engine, queries, timeout, limit):
+    total = 0
+    for query in queries:
+        total += len(engine.evaluate(query, timeout=timeout, limit=limit))
+    return total
+
+
+@pytest.mark.parametrize("name", TABLE2_ENGINES)
+def test_query_log_per_engine(benchmark, bench_context, name):
+    context = bench_context
+    engine = context.engines[name]
+    benchmark.group = "table2-query-log"
+    total = benchmark.pedantic(
+        _run_log,
+        args=(engine, context.queries, context.timeout, context.limit),
+        rounds=1,
+        iterations=1,
+    )
+    assert total >= 0
+
+
+def test_space_ordering(benchmark, bench_context):
+    context = bench_context
+    benchmark.group = "table2-space"
+    ring_size = benchmark(ring_bytes_per_edge, context.index)
+    for name in TABLE2_ENGINES:
+        if name == "ring":
+            continue
+        other = engine_bytes_per_edge(name, context.index)
+        # Paper: 3-5x smaller; assert a clear multiple here.
+        assert other > 2.5 * ring_size, (name, other, ring_size)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Benchmark scale is deliberately small so the full suite finishes in
+minutes of pure Python; the ``python -m repro.bench.tableN`` drivers
+run the same code at the larger, headline scales recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.registry import TABLE2_ENGINES
+from repro.bench.context import build_context
+from repro.graph.generators import wikidata_like
+from repro.ring.builder import RingIndex
+
+
+@pytest.fixture(scope="session")
+def bench_context():
+    """The standard benchmark environment at pytest scale."""
+    return build_context(
+        n_nodes=1_200,
+        n_edges=7_000,
+        n_predicates=24,
+        log_scale=0.02,
+        timeout=5.0,
+        limit=50_000,
+        seed=0,
+        engine_names=TABLE2_ENGINES,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_graph():
+    return wikidata_like(
+        n_nodes=1_200, n_edges=7_000, n_predicates=24, seed=0
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_index(bench_graph):
+    return RingIndex.from_graph(bench_graph)

@@ -1,0 +1,70 @@
+"""Query-log scenario: generating and profiling a Table 1-style log.
+
+Reproduces the paper's workload methodology in miniature: generate a
+query log following the published pattern mix (Table 1), classify it
+back, then profile the ring engine per pattern — showing which query
+shapes are cheap (anchored, selective) and which are the expensive
+variable-to-variable closures the paper's Fig. 8 is about.
+
+Run with::
+
+    python examples/query_log_analysis.py [--scale S]
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import Counter, defaultdict
+
+from repro import RingIndex
+from repro.bench.patterns import RECURSIVE_PATTERNS, classify_query
+from repro.bench.workload import generate_query_log
+from repro.graph.generators import wikidata_like
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--timeout", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    graph = wikidata_like(
+        n_nodes=1_500, n_edges=9_000, n_predicates=32, seed=args.seed
+    )
+    index = RingIndex.from_graph(graph)
+    queries = generate_query_log(graph, scale=args.scale, seed=args.seed)
+    print(f"generated {len(queries)} queries at scale {args.scale}")
+
+    histogram = Counter(classify_query(q) for q in queries)
+    print("\npattern mix (top 10):")
+    for pattern, count in histogram.most_common(10):
+        tag = "recursive" if pattern in RECURSIVE_PATTERNS else "join-like"
+        print(f"  {pattern:<14} {count:>4}  ({tag})")
+
+    print(f"\nrunning the log on the ring (timeout {args.timeout}s)...")
+    per_pattern: dict[str, list[float]] = defaultdict(list)
+    results_total = 0
+    timeouts = 0
+    for query in queries:
+        result = index.evaluate(
+            query, timeout=args.timeout, limit=100_000
+        )
+        per_pattern[classify_query(query)].append(result.stats.elapsed)
+        results_total += len(result)
+        timeouts += result.stats.timed_out
+
+    print(f"total distinct answers: {results_total}; timeouts: {timeouts}")
+    print("\nmean time per pattern (ms):")
+    rows = sorted(
+        per_pattern.items(),
+        key=lambda kv: -sum(kv[1]) / len(kv[1]),
+    )
+    for pattern, times in rows:
+        mean_ms = 1000 * sum(times) / len(times)
+        bar = "#" * min(60, int(mean_ms / 2) + 1)
+        print(f"  {pattern:<14} {mean_ms:>9.2f}  {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``bdist_wheel`` for the
+PEP 660 editable route; offline machines that lack the ``wheel`` dist
+can fall back to ``pip install -e . --no-use-pep517`` thanks to this
+file.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,7 @@
+"""``python -m repro`` entry point (delegates to the CLI)."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

@@ -1,0 +1,1 @@
+"""Internal helpers shared across subpackages (not part of the public API)."""

@@ -1,0 +1,46 @@
+"""Regular expressions over predicates, automata and their simulation.
+
+The query frontend of the reproduction:
+
+* :mod:`repro.automata.syntax` — the regular-expression AST (two-way:
+  atoms may be inverse predicates ``^p``), with reversal ``^E``;
+* :mod:`repro.automata.parser` — SPARQL-property-path-flavoured parser
+  (``/ | * + ? ^ !(...) (...)``);
+* :mod:`repro.automata.glushkov` — Glushkov position automaton (§3.3);
+* :mod:`repro.automata.thompson` — Thompson construction with
+  ε-removal (baseline NFA used by the classical engines);
+* :mod:`repro.automata.bitparallel` — the bit-parallel simulation of
+  the Glushkov NFA with chunked transition tables (Eqs. 1–2).
+"""
+
+from repro.automata.glushkov import GlushkovAutomaton, build_glushkov
+from repro.automata.parser import parse_regex
+from repro.automata.syntax import (
+    Concat,
+    Epsilon,
+    NegatedClass,
+    Optional,
+    Plus,
+    RegexNode,
+    Star,
+    Symbol,
+    Union,
+)
+from repro.automata.thompson import EpsilonFreeNFA, build_thompson
+
+__all__ = [
+    "Concat",
+    "Epsilon",
+    "EpsilonFreeNFA",
+    "GlushkovAutomaton",
+    "NegatedClass",
+    "Optional",
+    "Plus",
+    "RegexNode",
+    "Star",
+    "Symbol",
+    "Union",
+    "build_glushkov",
+    "build_thompson",
+    "parse_regex",
+]

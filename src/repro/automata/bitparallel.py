@@ -1,0 +1,157 @@
+r"""Bit-parallel simulation of the Glushkov NFA (§3.3, Eqs. 1–2).
+
+The simulation keeps the set ``D`` of active NFA states in a Python
+integer and advances over a symbol ``c`` with
+
+* forward:  ``D ← T[D] & B[c]``  (Eq. 1), and
+* reverse:  ``D ← T'[D & B[c]]`` (Eq. 2),
+
+where ``T`` maps a state set to everything reachable in one step and
+``T'`` to everything that reaches it.  A direct table over all
+:math:`2^{m+1}` state sets is exponential, so — exactly as §3.3
+describes — the tables are split vertically into ``d``-bit subtables
+``T_1 … T_{⌈(m+1)/d⌉}`` with ``T[X] = T_1[X_1] | … | T_k[X_k]``,
+bounding preprocessing space and time by :math:`O((m/d)\,2^d)`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.automata.glushkov import GlushkovAutomaton
+
+#: Default vertical-split width for the transition tables.
+DEFAULT_CHUNK_BITS = 13
+
+
+class ChunkedTransitionTable:
+    """Maps a state bitset ``X`` to the OR of per-state masks over X.
+
+    Built from ``masks[x]`` (one mask per NFA state ``x``); the lookup
+    ``table[X]`` returns ``OR { masks[x] : bit x set in X }`` by
+    combining one subtable entry per ``chunk_bits``-wide slice of X.
+    """
+
+    def __init__(self, masks: Sequence[int], chunk_bits: int = DEFAULT_CHUNK_BITS):
+        if chunk_bits < 1:
+            raise ValueError("chunk_bits must be positive")
+        self.num_states = len(masks)
+        self.chunk_bits = min(chunk_bits, max(1, self.num_states))
+        self._chunks: list[list[int]] = []
+        for base in range(0, self.num_states, self.chunk_bits):
+            width = min(self.chunk_bits, self.num_states - base)
+            sub = [0] * (1 << width)
+            # Dynamic-programming fill: X = (X without its lowest bit)
+            # OR'd with that bit's mask; each entry costs O(1).
+            for x in range(1, len(sub)):
+                low = x & -x
+                sub[x] = sub[x ^ low] | masks[base + low.bit_length() - 1]
+            self._chunks.append(sub)
+
+    def __getitem__(self, state_set: int) -> int:
+        result = 0
+        mask = (1 << self.chunk_bits) - 1
+        for sub in self._chunks:
+            part = state_set & mask
+            if part:
+                result |= sub[part]
+            state_set >>= self.chunk_bits
+        return result
+
+    def table_entries(self) -> int:
+        """Total subtable entries (the §3.3 space bound, for stats)."""
+        return sum(len(sub) for sub in self._chunks)
+
+
+class ForwardSimulator:
+    """Eq. (1): reads words left to right.
+
+    ``b_masks`` maps concrete symbols (predicate ids or labels) to the
+    bitset of states entered by that symbol; missing symbols match no
+    state, which implements the lazily-initialised ``B`` of the paper.
+    """
+
+    def __init__(
+        self,
+        automaton: GlushkovAutomaton,
+        b_masks: Mapping[object, int],
+        chunk_bits: int = DEFAULT_CHUNK_BITS,
+    ):
+        self.automaton = automaton
+        self.b_masks = b_masks
+        self.table = ChunkedTransitionTable(
+            automaton.follow_masks, chunk_bits
+        )
+
+    def start(self) -> int:
+        """Initial active-state set: just state 0."""
+        return GlushkovAutomaton.INITIAL_MASK
+
+    def step(self, state_set: int, symbol: object) -> int:
+        """Advance over one symbol (Eq. 1)."""
+        return self.table[state_set] & self.b_masks.get(symbol, 0)
+
+    def is_final(self, state_set: int) -> bool:
+        """True when the set contains an accepting state."""
+        return self.automaton.is_final(state_set)
+
+    def accepts(self, word: Sequence[object]) -> bool:
+        """Whole-word membership (Eq. 1 loop)."""
+        d = self.start()
+        for symbol in word:
+            d = self.step(d, symbol)
+            if d == 0:
+                return False
+        return self.is_final(d)
+
+
+class ReverseSimulator:
+    """Eq. (2): reads words right to left.
+
+    Starts from the final states and reports a match whenever the
+    initial state becomes active — the direction the Ring-RPQ engine
+    traverses the graph in.
+    """
+
+    def __init__(
+        self,
+        automaton: GlushkovAutomaton,
+        b_masks: Mapping[object, int],
+        chunk_bits: int = DEFAULT_CHUNK_BITS,
+    ):
+        self.automaton = automaton
+        self.b_masks = b_masks
+        self.table = ChunkedTransitionTable(automaton.pred_masks, chunk_bits)
+
+    def start(self) -> int:
+        """Initial active-state set: the accepting states ``F``."""
+        return self.automaton.final_mask
+
+    def step(self, state_set: int, symbol: object) -> int:
+        """Advance (backwards) over one symbol (Eq. 2)."""
+        filtered = state_set & self.b_masks.get(symbol, 0)
+        if filtered == 0:
+            return 0
+        return self.table[filtered]
+
+    def step_prefiltered(self, filtered: int) -> int:
+        """Eq. (2) when ``D & B[c]`` was already computed by the caller.
+
+        The RPQ engine's wavelet-tree descent maintains ``D & B[v]``
+        incrementally, so by the time it reaches a leaf the bitwise-and
+        is already done.
+        """
+        return self.table[filtered]
+
+    def reports_match(self, state_set: int) -> bool:
+        """True when the set reached the initial state (a full match)."""
+        return self.automaton.contains_initial(state_set)
+
+    def accepts(self, word: Sequence[object]) -> bool:
+        """Whole-word membership, reading the word from its end."""
+        d = self.start()
+        for symbol in reversed(word):
+            d = self.step(d, symbol)
+            if d == 0:
+                return False
+        return self.reports_match(d)

@@ -1,0 +1,274 @@
+"""Glushkov position automaton of a path regular expression (§3.3).
+
+For an expression with ``m`` atom occurrences the Glushkov NFA has
+exactly ``m + 1`` states: state 0 is initial and state ``x`` (1-based)
+corresponds to the ``x``-th atom occurrence.  Its defining properties —
+no ε-transitions, and *all transitions entering a state share the
+state's label* (Fact 1) — are what enable the bit-parallel simulation
+and the wavelet-tree pruning of the RPQ engine.
+
+State sets are plain Python integers used as bitsets: bit ``x`` is
+state ``x``; bit 0 is the initial state.
+
+Construction is the classical nullable/first/last/follow recursion and
+costs :math:`O(m^2)` in the worst case, as the paper notes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+
+from repro._util.bits import iter_set_bits
+from repro.automata.syntax import (
+    Concat,
+    Epsilon,
+    NegatedClass,
+    Optional,
+    Plus,
+    RegexNode,
+    Star,
+    Symbol,
+    Union,
+)
+from repro.errors import ConstructionError
+from repro.graph.model import is_inverse_label
+
+
+class GlushkovAutomaton:
+    """The position automaton of an expression.
+
+    Attributes
+    ----------
+    m:
+        Number of positions (atom occurrences).
+    atoms:
+        ``atoms[x - 1]`` is the atom of position ``x``.
+    nullable:
+        Whether ε is in the language.
+    follow_masks:
+        ``follow_masks[x]`` is the bitset of states reachable from
+        state ``x`` in one step (``follow_masks[0]`` is *first*).
+    pred_masks:
+        ``pred_masks[y]`` is the bitset of states that reach state
+        ``y`` in one step; the reverse simulation's building block.
+    final_mask:
+        Bitset of accepting states (*last*, plus state 0 if nullable).
+    """
+
+    #: Bitset with only the initial state (state 0).
+    INITIAL_MASK = 1
+
+    def __init__(
+        self,
+        atoms: list[Symbol | NegatedClass],
+        nullable: bool,
+        first_mask: int,
+        last_mask: int,
+        follow: dict[int, int],
+    ):
+        self.m = len(atoms)
+        self.atoms = atoms
+        self.nullable = nullable
+        self.first_mask = first_mask
+        self.last_mask = last_mask
+        self.follow_masks = [follow.get(x, 0) for x in range(self.m + 1)]
+        self.follow_masks[0] = first_mask
+        self.final_mask = last_mask | (self.INITIAL_MASK if nullable else 0)
+
+        pred = [0] * (self.m + 1)
+        for x in range(self.m + 1):
+            for y in iter_set_bits(self.follow_masks[x]):
+                pred[y] |= 1 << x
+        self.pred_masks = pred
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    @property
+    def num_states(self) -> int:
+        """``m + 1`` — optimal for an ε-free NFA of the expression."""
+        return self.m + 1
+
+    def transitions(self) -> Iterable[tuple[int, Symbol | NegatedClass, int]]:
+        """All transitions as ``(source_state, atom, target_state)``.
+
+        Every transition into state ``y`` carries the atom of position
+        ``y`` — the Glushkov regularity the engine exploits.
+        """
+        for x in range(self.m + 1):
+            for y in iter_set_bits(self.follow_masks[x]):
+                yield (x, self.atoms[y - 1], y)
+
+    def is_final(self, mask: int) -> bool:
+        """True when the active-state bitset contains a final state."""
+        return bool(mask & self.final_mask)
+
+    def contains_initial(self, mask: int) -> bool:
+        """True when the active-state bitset contains state 0."""
+        return bool(mask & self.INITIAL_MASK)
+
+    def state_mask_str(self, mask: int) -> str:
+        """Render a bitset the way the paper prints it: state 0 first.
+
+        The paper writes ``D`` with the initial state as the *highest*
+        (leftmost) bit, e.g. ``1000`` for state 0 of a 4-state NFA;
+        this helper reproduces that spelling for tests and tracing.
+        """
+        return "".join(
+            "1" if mask >> x & 1 else "0" for x in range(self.num_states)
+        )
+
+    # ------------------------------------------------------------------
+    # Symbol tables (the ``B`` array of the bit-parallel simulation)
+    # ------------------------------------------------------------------
+
+    def b_masks(
+        self, resolve: Callable[[Symbol | NegatedClass], Iterable[object]]
+    ) -> dict[object, int]:
+        """Build ``B``: symbol → bitset of states labeled by it.
+
+        ``resolve`` maps each atom to the set of concrete alphabet
+        symbols it matches (predicate ids against a dictionary, or
+        label strings for symbolic tests).  Only symbols with non-zero
+        masks appear — the lazy-initialisation contract of §5.
+        """
+        table: dict[object, int] = {}
+        for position, atom in enumerate(self.atoms, start=1):
+            bit = 1 << position
+            for symbol in resolve(atom):
+                table[symbol] = table.get(symbol, 0) | bit
+        return table
+
+    def b_masks_symbolic(
+        self, alphabet: Iterable[str] | None = None
+    ) -> dict[str, int]:
+        """``B`` over label strings; negated classes need ``alphabet``."""
+        alphabet_set = set(alphabet) if alphabet is not None else None
+
+        def resolve(atom: Symbol | NegatedClass) -> Iterable[str]:
+            if isinstance(atom, Symbol):
+                return (atom.label,)
+            if alphabet_set is None:
+                raise ConstructionError(
+                    "negated class needs an explicit alphabet"
+                )
+            if atom.inverse:
+                return (
+                    f"^{a}" for a in alphabet_set
+                    if not is_inverse_label(a) and a not in atom.excluded
+                )
+            return (
+                a for a in alphabet_set
+                if not is_inverse_label(a) and a not in atom.excluded
+            )
+
+        return self.b_masks(resolve)
+
+    # ------------------------------------------------------------------
+    # Word membership (reference semantics for tests)
+    # ------------------------------------------------------------------
+
+    def accepts(self, word: Iterable[str],
+                b_masks: Mapping[object, int] | None = None) -> bool:
+        """Forward simulation of Eq. (1) over a word of symbols.
+
+        With no ``b_masks``, labels are matched symbolically (exact
+        ``Symbol`` labels only).
+        """
+        if b_masks is None:
+            b_masks = self.b_masks_symbolic()
+        d = self.INITIAL_MASK
+        for symbol in word:
+            step = 0
+            for x in iter_set_bits(d):
+                step |= self.follow_masks[x]
+            d = step & b_masks.get(symbol, 0)
+            if d == 0:
+                break
+        return self.is_final(d)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GlushkovAutomaton(m={self.m}, nullable={self.nullable}, "
+            f"final={self.state_mask_str(self.final_mask)})"
+        )
+
+
+def build_glushkov(expr: RegexNode) -> GlushkovAutomaton:
+    """Construct the Glushkov automaton of an expression AST."""
+    atoms: list[Symbol | NegatedClass] = []
+    follow: dict[int, int] = {}
+
+    def walk(node: RegexNode) -> tuple[bool, int, int]:
+        """Return (nullable, first_mask, last_mask), filling follow."""
+        if isinstance(node, Epsilon):
+            return (True, 0, 0)
+        if isinstance(node, (Symbol, NegatedClass)):
+            atoms.append(node)
+            bit = 1 << len(atoms)
+            return (False, bit, bit)
+        if isinstance(node, Union):
+            nullable, first, last = False, 0, 0
+            for child in node.children:
+                n, f, l = walk(child)
+                nullable = nullable or n
+                first |= f
+                last |= l
+            return (nullable, first, last)
+        if isinstance(node, Concat):
+            nullable, first, last = walk(node.children[0])
+            for child in node.children[1:]:
+                n2, f2, l2 = walk(child)
+                for x in iter_set_bits(last):
+                    follow[x] = follow.get(x, 0) | f2
+                first = first | f2 if nullable else first
+                last = l2 | (last if n2 else 0)
+                nullable = nullable and n2
+            return (nullable, first, last)
+        if isinstance(node, (Star, Plus)):
+            n, f, l = walk(node.child)
+            for x in iter_set_bits(l):
+                follow[x] = follow.get(x, 0) | f
+            return (True if isinstance(node, Star) else n, f, l)
+        if isinstance(node, Optional):
+            n, f, l = walk(node.child)
+            return (True, f, l)
+        raise ConstructionError(f"unknown regex node {type(node).__name__}")
+
+    nullable, first_mask, last_mask = walk(expr)
+    return GlushkovAutomaton(atoms, nullable, first_mask, last_mask, follow)
+
+
+def resolve_atom_to_predicates(atom: Symbol | NegatedClass,
+                               dictionary) -> frozenset[int]:
+    """Map an atom to the set of predicate ids it matches.
+
+    Shared by all engines so their semantics agree exactly:
+
+    * a ``Symbol`` resolves through the dictionary, falling back to the
+      inverse-predicate involution for ``^p`` spellings of symmetric
+      or already-inverted predicates; unknown labels match nothing;
+    * a forward ``NegatedClass`` matches every original (non-inverse)
+      predicate not excluded; an inverse one matches the inverses of
+      those predicates.
+    """
+    if isinstance(atom, Symbol):
+        label = atom.label
+        if dictionary.has_predicate(label):
+            return frozenset((dictionary.predicate_id(label),))
+        if is_inverse_label(label):
+            base = label[1:]
+            if dictionary.has_predicate(base):
+                base_id = dictionary.predicate_id(base)
+                return frozenset((dictionary.inverse_predicate(base_id),))
+        return frozenset()
+
+    matched: set[int] = set()
+    for pid, label in enumerate(dictionary.predicate_labels):
+        if is_inverse_label(label):
+            continue  # enumerate originals; invert below if needed
+        if label in atom.excluded:
+            continue
+        matched.add(dictionary.inverse_predicate(pid) if atom.inverse else pid)
+    return frozenset(matched)

@@ -1,0 +1,227 @@
+"""Recursive-descent parser for path regular expressions.
+
+Grammar (SPARQL property-path flavoured), lowest precedence first::
+
+    union   :=  concat ('|' concat)*
+    concat  :=  postfix ('/' postfix)*
+    postfix :=  primary ('*' | '+' | '?')*
+    primary :=  IDENT | '<' iri '>' | '^' primary
+             |  '!' '(' neg_list ')' | '(' union ')' | 'ε'
+    neg_list := neg_atom ('|' neg_atom)*
+    neg_atom := IDENT | '^' IDENT
+
+``^`` distributes over its operand: ``^(a/b)`` parses to ``^b/^a``
+(i.e. the parser applies :meth:`RegexNode.reverse`), matching the
+definition of two-way expressions in §3.1.  Identifiers may contain
+letters, digits and ``_ : . -``; IRIs may be written in angle brackets.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.automata.syntax import (
+    Epsilon,
+    NegatedClass,
+    Optional,
+    Plus,
+    RegexNode,
+    Star,
+    Symbol,
+    concat,
+    union,
+)
+from repro.errors import RegexSyntaxError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<iri><[^<>\s]+>)
+  | (?P<ident>[A-Za-z0-9_][A-Za-z0-9_:.\-]*)
+  | (?P<op>[/|*+?^!()])
+  | (?P<eps>ε)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "ident", "op", "eps", "eof"
+    text: str
+    pos: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    i = 0
+    while i < len(source):
+        match = _TOKEN_RE.match(source, i)
+        if match is None:
+            raise RegexSyntaxError(
+                f"unexpected character {source[i]!r}", position=i
+            )
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "iri":
+            tokens.append(_Token("ident", text[1:-1], i))
+        elif kind == "ident":
+            tokens.append(_Token("ident", text, i))
+        elif kind == "op":
+            tokens.append(_Token("op", text, i))
+        elif kind == "eps":
+            tokens.append(_Token("eps", text, i))
+        # whitespace is skipped
+        i = match.end()
+    tokens.append(_Token("eof", "", len(source)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens = _tokenize(source)
+        self.index = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def expect_op(self, text: str) -> None:
+        token = self.current
+        if token.kind != "op" or token.text != text:
+            raise RegexSyntaxError(
+                f"expected {text!r}, found {token.text or 'end of input'!r}",
+                position=token.pos,
+            )
+        self.advance()
+
+    def at_op(self, text: str) -> bool:
+        return self.current.kind == "op" and self.current.text == text
+
+    # ------------------------------------------------------------------
+
+    def parse(self) -> RegexNode:
+        node = self.parse_union()
+        if self.current.kind != "eof":
+            raise RegexSyntaxError(
+                f"trailing input {self.current.text!r}",
+                position=self.current.pos,
+            )
+        return node
+
+    def parse_union(self) -> RegexNode:
+        parts = [self.parse_concat()]
+        while self.at_op("|"):
+            self.advance()
+            parts.append(self.parse_concat())
+        return union(*parts)
+
+    def parse_concat(self) -> RegexNode:
+        parts = [self.parse_postfix()]
+        while self.at_op("/"):
+            self.advance()
+            parts.append(self.parse_postfix())
+        return concat(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_postfix(self) -> RegexNode:
+        node = self.parse_primary()
+        while self.current.kind == "op" and self.current.text in "*+?":
+            op = self.advance().text
+            if op == "*":
+                node = Star(node)
+            elif op == "+":
+                node = Plus(node)
+            else:
+                node = Optional(node)
+        return node
+
+    def parse_primary(self) -> RegexNode:
+        token = self.current
+        if token.kind == "ident":
+            self.advance()
+            return Symbol(token.text)
+        if token.kind == "eps":
+            self.advance()
+            return Epsilon()
+        if self.at_op("^"):
+            self.advance()
+            return self.parse_primary().reverse()
+        if self.at_op("!"):
+            self.advance()
+            return self.parse_negated_class()
+        if self.at_op("("):
+            self.advance()
+            node = self.parse_union()
+            self.expect_op(")")
+            return node
+        raise RegexSyntaxError(
+            f"expected an atom, found {token.text or 'end of input'!r}",
+            position=token.pos,
+        )
+
+    def parse_negated_class(self) -> RegexNode:
+        """``!(a|^b|c)`` — split into forward and inverse direction sets.
+
+        Per SPARQL, the forward part matches a forward edge whose label
+        avoids the forward-listed predicates, and the inverse part a
+        reversed edge avoiding the inverse-listed ones; the result is
+        the union of the non-empty directions.
+        """
+        self.expect_op("(")
+        forward: set[str] = set()
+        inverse: set[str] = set()
+        saw_forward = False
+        saw_inverse = False
+        while True:
+            if self.at_op("^"):
+                self.advance()
+                token = self.advance()
+                if token.kind != "ident":
+                    raise RegexSyntaxError(
+                        "expected a predicate after '^' in negated set",
+                        position=token.pos,
+                    )
+                inverse.add(token.text)
+                saw_inverse = True
+            else:
+                token = self.advance()
+                if token.kind != "ident":
+                    raise RegexSyntaxError(
+                        "expected a predicate in negated set",
+                        position=token.pos,
+                    )
+                forward.add(token.text)
+                saw_forward = True
+            if self.at_op("|"):
+                self.advance()
+                continue
+            break
+        self.expect_op(")")
+        parts: list[RegexNode] = []
+        if saw_forward or not saw_inverse:
+            parts.append(NegatedClass(frozenset(forward), inverse=False))
+        if saw_inverse:
+            parts.append(NegatedClass(frozenset(inverse), inverse=True))
+        return union(*parts) if len(parts) > 1 else parts[0]
+
+
+def parse_regex(source: str) -> RegexNode:
+    """Parse a path regular expression string into an AST.
+
+    >>> str(parse_regex("l5+/bus"))
+    'l5+/bus'
+    >>> str(parse_regex("^(a/b)"))
+    '^b/^a'
+    """
+    if not source.strip():
+        raise RegexSyntaxError("empty regular expression")
+    return _Parser(source).parse()

@@ -1,0 +1,297 @@
+"""Abstract syntax of two-way regular path expressions (§3.1).
+
+An expression is built from predicate atoms (possibly inverse,
+``^p``), negated property sets ``!(p1|^p2|...)``, concatenation ``/``,
+disjunction ``|``, and the closures ``*``, ``+``, ``?``.  Expressions
+are immutable; :meth:`RegexNode.reverse` produces the path-reversal
+``^E`` used to turn a query ``(s, E, ?y)`` into ``(?y, ^E, s)`` (§4.4),
+and every node renders back to parseable text via ``str()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.model import inverse_label
+
+
+class RegexNode:
+    """Base class of all expression nodes."""
+
+    def reverse(self) -> "RegexNode":
+        """The expression matching the reversed paths, ``^E``."""
+        raise NotImplementedError
+
+    def num_positions(self) -> int:
+        """Number of atom occurrences (``m`` in the paper)."""
+        raise NotImplementedError
+
+    def atoms(self) -> list["Symbol | NegatedClass"]:
+        """All atom occurrences in left-to-right order."""
+        raise NotImplementedError
+
+    def is_fixed_length(self) -> bool:
+        """True when every matching path has the same length.
+
+        The SPARQL systems the paper compares against translate
+        fixed-length property paths into plain join patterns (§5); the
+        baselines use this predicate to decide.
+        """
+        return self.length_range()[1] is not None and (
+            self.length_range()[0] == self.length_range()[1]
+        )
+
+    def length_range(self) -> tuple[int, int | None]:
+        """(min, max) path lengths; ``None`` means unbounded."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Epsilon(RegexNode):
+    """The empty-path expression ε."""
+
+    def reverse(self) -> RegexNode:
+        return self
+
+    def num_positions(self) -> int:
+        return 0
+
+    def atoms(self) -> list["Symbol | NegatedClass"]:
+        return []
+
+    def length_range(self) -> tuple[int, int | None]:
+        return (0, 0)
+
+    def __str__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True)
+class Symbol(RegexNode):
+    """A single predicate atom; ``^``-prefixed labels are inverses."""
+
+    label: str
+
+    def reverse(self) -> RegexNode:
+        return Symbol(inverse_label(self.label))
+
+    def num_positions(self) -> int:
+        return 1
+
+    def atoms(self) -> list["Symbol | NegatedClass"]:
+        return [self]
+
+    def length_range(self) -> tuple[int, int | None]:
+        return (1, 1)
+
+    def __str__(self) -> str:
+        return self.label
+
+
+@dataclass(frozen=True)
+class NegatedClass(RegexNode):
+    """A negated property set: matches any predicate *not* listed.
+
+    The excluded labels may include inverse spellings; per SPARQL's
+    negated property sets, an atom ``!(p1|^p2)`` traverses a forward
+    edge whose label is not ``p1``, or a reversed edge whose label is
+    not ``p2``.  We model the simpler (and more common) split form: the
+    instance stores the excluded labels and a direction flag, and the
+    parser builds one ``NegatedClass`` per direction.
+    """
+
+    excluded: frozenset[str] = field(default_factory=frozenset)
+    inverse: bool = False
+
+    def reverse(self) -> RegexNode:
+        return NegatedClass(
+            frozenset(self.excluded), inverse=not self.inverse
+        )
+
+    def num_positions(self) -> int:
+        return 1
+
+    def atoms(self) -> list["Symbol | NegatedClass"]:
+        return [self]
+
+    def length_range(self) -> tuple[int, int | None]:
+        return (1, 1)
+
+    def __str__(self) -> str:
+        body = "|".join(sorted(self.excluded))
+        return f"^!({body})" if self.inverse else f"!({body})"
+
+
+@dataclass(frozen=True)
+class Concat(RegexNode):
+    """Concatenation ``E1/E2/...``."""
+
+    children: tuple[RegexNode, ...]
+
+    def __post_init__(self):
+        if len(self.children) < 2:
+            raise ValueError("Concat needs at least two children")
+
+    def reverse(self) -> RegexNode:
+        return Concat(tuple(c.reverse() for c in reversed(self.children)))
+
+    def num_positions(self) -> int:
+        return sum(c.num_positions() for c in self.children)
+
+    def atoms(self) -> list["Symbol | NegatedClass"]:
+        out: list[Symbol | NegatedClass] = []
+        for c in self.children:
+            out.extend(c.atoms())
+        return out
+
+    def length_range(self) -> tuple[int, int | None]:
+        lo = 0
+        hi: int | None = 0
+        for c in self.children:
+            clo, chi = c.length_range()
+            lo += clo
+            hi = None if hi is None or chi is None else hi + chi
+        return (lo, hi)
+
+    def __str__(self) -> str:
+        return "/".join(_wrap(c, for_concat=True) for c in self.children)
+
+
+@dataclass(frozen=True)
+class Union(RegexNode):
+    """Disjunction ``E1|E2|...``."""
+
+    children: tuple[RegexNode, ...]
+
+    def __post_init__(self):
+        if len(self.children) < 2:
+            raise ValueError("Union needs at least two children")
+
+    def reverse(self) -> RegexNode:
+        return Union(tuple(c.reverse() for c in self.children))
+
+    def num_positions(self) -> int:
+        return sum(c.num_positions() for c in self.children)
+
+    def atoms(self) -> list["Symbol | NegatedClass"]:
+        out: list[Symbol | NegatedClass] = []
+        for c in self.children:
+            out.extend(c.atoms())
+        return out
+
+    def length_range(self) -> tuple[int, int | None]:
+        lows, highs = [], []
+        for c in self.children:
+            clo, chi = c.length_range()
+            lows.append(clo)
+            highs.append(chi)
+        hi = None if any(h is None for h in highs) else max(highs)
+        return (min(lows), hi)
+
+    def __str__(self) -> str:
+        return "|".join(str(c) for c in self.children)
+
+
+@dataclass(frozen=True)
+class Star(RegexNode):
+    """Kleene closure ``E*``."""
+
+    child: RegexNode
+
+    def reverse(self) -> RegexNode:
+        return Star(self.child.reverse())
+
+    def num_positions(self) -> int:
+        return self.child.num_positions()
+
+    def atoms(self) -> list["Symbol | NegatedClass"]:
+        return self.child.atoms()
+
+    def length_range(self) -> tuple[int, int | None]:
+        return (0, None if self.child.length_range()[1] != 0 else 0)
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.child)}*"
+
+
+@dataclass(frozen=True)
+class Plus(RegexNode):
+    """Positive closure ``E+`` (one or more)."""
+
+    child: RegexNode
+
+    def reverse(self) -> RegexNode:
+        return Plus(self.child.reverse())
+
+    def num_positions(self) -> int:
+        return self.child.num_positions()
+
+    def atoms(self) -> list["Symbol | NegatedClass"]:
+        return self.child.atoms()
+
+    def length_range(self) -> tuple[int, int | None]:
+        lo, hi = self.child.length_range()
+        return (lo, None if hi != 0 else 0)
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.child)}+"
+
+
+@dataclass(frozen=True)
+class Optional(RegexNode):
+    """Optional ``E?`` (zero or one)."""
+
+    child: RegexNode
+
+    def reverse(self) -> RegexNode:
+        return Optional(self.child.reverse())
+
+    def num_positions(self) -> int:
+        return self.child.num_positions()
+
+    def atoms(self) -> list["Symbol | NegatedClass"]:
+        return self.child.atoms()
+
+    def length_range(self) -> tuple[int, int | None]:
+        return (0, self.child.length_range()[1])
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.child)}?"
+
+
+def _wrap(node: RegexNode, for_concat: bool = False) -> str:
+    """Parenthesise a child when precedence demands it."""
+    needs = isinstance(node, Union) or (
+        not for_concat and isinstance(node, Concat)
+    )
+    return f"({node})" if needs else str(node)
+
+
+def concat(*parts: RegexNode) -> RegexNode:
+    """Smart concatenation: flattens, drops ε, unwraps singletons."""
+    flat: list[RegexNode] = []
+    for part in parts:
+        if isinstance(part, Epsilon):
+            continue
+        if isinstance(part, Concat):
+            flat.extend(part.children)
+        else:
+            flat.append(part)
+    if not flat:
+        return Epsilon()
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def union(*parts: RegexNode) -> RegexNode:
+    """Smart disjunction: flattens nested unions, unwraps singletons."""
+    flat: list[RegexNode] = []
+    for part in parts:
+        if isinstance(part, Union):
+            flat.extend(part.children)
+        else:
+            flat.append(part)
+    if len(flat) == 1:
+        return flat[0]
+    return Union(tuple(flat))

@@ -1,0 +1,221 @@
+"""Thompson construction with ε-removal.
+
+The classical product-graph baselines of the evaluation use this NFA
+(the paper's §3.2 assumes "Thompson's classical algorithm, where we
+assume that ε-transitions have been (subsequently) removed").  It also
+serves as an independent oracle: Glushkov and Thompson are two
+unrelated constructions, so the test suite checks they accept exactly
+the same words.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.automata.syntax import (
+    Concat,
+    Epsilon,
+    NegatedClass,
+    Optional,
+    Plus,
+    RegexNode,
+    Star,
+    Symbol,
+    Union,
+)
+from repro.errors import ConstructionError
+
+
+class EpsilonFreeNFA:
+    """An ε-free NFA with atom-labeled transitions.
+
+    Attributes
+    ----------
+    num_states:
+        States are ``0 .. num_states - 1``; 0 is initial.
+    delta:
+        ``delta[q]`` is a list of ``(atom, target)`` pairs.
+    finals:
+        Set of accepting states.
+    """
+
+    def __init__(
+        self,
+        num_states: int,
+        delta: dict[int, list[tuple[Symbol | NegatedClass, int]]],
+        finals: set[int],
+    ):
+        self.num_states = num_states
+        self.delta = delta
+        self.finals = finals
+
+    @property
+    def initial(self) -> int:
+        """The initial state (always 0)."""
+        return 0
+
+    def successors(self, state: int) -> list[tuple[Symbol | NegatedClass, int]]:
+        """Outgoing ``(atom, target)`` transitions of a state."""
+        return self.delta.get(state, [])
+
+    def accepts(self, word: Iterable[str],
+                atom_symbols: Mapping[object, frozenset[str]] | None = None
+                ) -> bool:
+        """Subset simulation over a word of labels.
+
+        With no ``atom_symbols`` mapping, ``Symbol`` atoms match their
+        own label and negated classes raise (tests supply explicit
+        resolutions when they use classes).
+        """
+        current = {self.initial}
+        for label in word:
+            nxt: set[int] = set()
+            for q in current:
+                for atom, target in self.successors(q):
+                    if atom_symbols is not None:
+                        if label in atom_symbols.get(atom, frozenset()):
+                            nxt.add(target)
+                    elif isinstance(atom, Symbol) and atom.label == label:
+                        nxt.add(target)
+                    elif isinstance(atom, NegatedClass):
+                        raise ConstructionError(
+                            "negated class needs atom_symbols resolution"
+                        )
+            current = nxt
+            if not current:
+                break
+        return bool(current & self.finals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        n_edges = sum(len(v) for v in self.delta.values())
+        return (
+            f"EpsilonFreeNFA(states={self.num_states}, edges={n_edges}, "
+            f"finals={sorted(self.finals)})"
+        )
+
+
+class _ThompsonFragment:
+    """A partial automaton with one entry and one exit state."""
+
+    __slots__ = ("start", "end")
+
+    def __init__(self, start: int, end: int):
+        self.start = start
+        self.end = end
+
+
+def build_thompson(expr: RegexNode) -> EpsilonFreeNFA:
+    """Build Thompson's NFA for ``expr`` and remove its ε-transitions.
+
+    The returned automaton is renumbered so that only states reachable
+    from the initial state survive.
+    """
+    eps: dict[int, set[int]] = {}
+    sym: dict[int, list[tuple[Symbol | NegatedClass, int]]] = {}
+    counter = [0]
+
+    def new_state() -> int:
+        counter[0] += 1
+        return counter[0] - 1
+
+    def add_eps(a: int, b: int) -> None:
+        eps.setdefault(a, set()).add(b)
+
+    def add_sym(a: int, atom: Symbol | NegatedClass, b: int) -> None:
+        sym.setdefault(a, []).append((atom, b))
+
+    def build(node: RegexNode) -> _ThompsonFragment:
+        if isinstance(node, Epsilon):
+            s, e = new_state(), new_state()
+            add_eps(s, e)
+            return _ThompsonFragment(s, e)
+        if isinstance(node, (Symbol, NegatedClass)):
+            s, e = new_state(), new_state()
+            add_sym(s, node, e)
+            return _ThompsonFragment(s, e)
+        if isinstance(node, Concat):
+            frags = [build(c) for c in node.children]
+            for left, right in zip(frags, frags[1:]):
+                add_eps(left.end, right.start)
+            return _ThompsonFragment(frags[0].start, frags[-1].end)
+        if isinstance(node, Union):
+            s, e = new_state(), new_state()
+            for child in node.children:
+                frag = build(child)
+                add_eps(s, frag.start)
+                add_eps(frag.end, e)
+            return _ThompsonFragment(s, e)
+        if isinstance(node, Star):
+            s, e = new_state(), new_state()
+            frag = build(node.child)
+            add_eps(s, frag.start)
+            add_eps(s, e)
+            add_eps(frag.end, frag.start)
+            add_eps(frag.end, e)
+            return _ThompsonFragment(s, e)
+        if isinstance(node, Plus):
+            s, e = new_state(), new_state()
+            frag = build(node.child)
+            add_eps(s, frag.start)
+            add_eps(frag.end, frag.start)
+            add_eps(frag.end, e)
+            return _ThompsonFragment(s, e)
+        if isinstance(node, Optional):
+            s, e = new_state(), new_state()
+            frag = build(node.child)
+            add_eps(s, frag.start)
+            add_eps(s, e)
+            add_eps(frag.end, e)
+            return _ThompsonFragment(s, e)
+        raise ConstructionError(f"unknown regex node {type(node).__name__}")
+
+    top = build(expr)
+    n_raw = counter[0]
+
+    # ε-closures by DFS (memoised).
+    closures: dict[int, frozenset[int]] = {}
+
+    def closure(state: int) -> frozenset[int]:
+        cached = closures.get(state)
+        if cached is not None:
+            return cached
+        seen = {state}
+        stack = [state]
+        while stack:
+            q = stack.pop()
+            for nxt in eps.get(q, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        result = frozenset(seen)
+        closures[state] = result
+        return result
+
+    # ε-free transitions: from q, any symbol edge leaving closure(q).
+    def sym_edges(state: int) -> list[tuple[Symbol | NegatedClass, int]]:
+        edges: list[tuple[Symbol | NegatedClass, int]] = []
+        for q in closure(state):
+            edges.extend(sym.get(q, ()))
+        return edges
+
+    finals_raw = {
+        q for q in range(n_raw) if top.end in closure(q)
+    }
+
+    # Keep only states reachable from the start via symbol edges.
+    order: dict[int, int] = {top.start: 0}
+    queue = [top.start]
+    delta: dict[int, list[tuple[Symbol | NegatedClass, int]]] = {}
+    while queue:
+        q = queue.pop(0)
+        out: list[tuple[Symbol | NegatedClass, int]] = []
+        for atom, target in sym_edges(q):
+            if target not in order:
+                order[target] = len(order)
+                queue.append(target)
+            out.append((atom, order[target]))
+        if out:
+            delta[order[q]] = out
+
+    finals = {order[q] for q in finals_raw if q in order}
+    return EpsilonFreeNFA(len(order), delta, finals)

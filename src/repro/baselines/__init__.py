@@ -1,0 +1,41 @@
+"""Baseline RPQ engines the ring is compared against.
+
+The paper benchmarks against Jena, Virtuoso and Blazegraph — external
+Java/C++ servers that cannot be bundled here.  Following the
+reproduction's substitution rule, this subpackage implements the
+*algorithms* those systems use for property paths, over a shared
+integer-encoded adjacency representation:
+
+* :class:`~repro.baselines.product_bfs.ProductBFSEngine` — the
+  classical product-graph BFS of §1 (node-at-a-time, Thompson NFA);
+* :class:`~repro.baselines.alp.AlpEngine` — SPARQL's ALP (Arbitrary
+  Length Paths) procedure, evaluated left-to-right with no planning:
+  the Jena profile;
+* :class:`~repro.baselines.alp.AlpPlannerEngine` — ALP plus
+  cardinality-based side selection: the Blazegraph profile;
+* :class:`~repro.baselines.transitive.SemiNaiveEngine` — bottom-up
+  relational evaluation with a semi-naive transitive-closure operator:
+  the Virtuoso profile.
+
+All engines share the query model, set semantics, timeouts and result
+caps of the core engine, so the benchmark harness can swap them in
+behind a single interface (:class:`~repro.baselines.base.BaselineEngine`).
+"""
+
+from repro.baselines.alp import AlpEngine, AlpPlannerEngine
+from repro.baselines.base import BaselineEngine, EncodedGraph
+from repro.baselines.product_bfs import ProductBFSEngine
+from repro.baselines.registry import all_engines, make_engine
+
+from repro.baselines.transitive import SemiNaiveEngine
+
+__all__ = [
+    "AlpEngine",
+    "AlpPlannerEngine",
+    "BaselineEngine",
+    "EncodedGraph",
+    "ProductBFSEngine",
+    "SemiNaiveEngine",
+    "all_engines",
+    "make_engine",
+]

@@ -1,0 +1,290 @@
+"""SPARQL property-path evaluation via ALP (Arbitrary Length Paths).
+
+Jena and Blazegraph implement the SPARQL 1.1 spec's navigational
+procedure: fixed-length path fragments become joins, and ``*``/``+``
+fragments run the ALP breadth-first walk once per start binding (§5:
+*"Jena and Blazegraph implement a navigational BFS-style function
+called ALP"*).  Two profiles are provided:
+
+* :class:`AlpEngine` ("jena") — spec-faithful, no planning: paths are
+  evaluated left to right, and an unbound start side means one ALP walk
+  per *graph node*;
+* :class:`AlpPlannerEngine` ("blazegraph") — the same machinery with
+  two standard optimisations: the evaluation side is chosen by
+  predicate cardinality, and unbound closures only start from nodes
+  that can match the expression's first atom.
+
+Both engines memoise single-step expansions within one query, playing
+the role of the systems' triple caches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.automata.glushkov import build_glushkov
+from repro.automata.syntax import (
+    Concat,
+    Epsilon,
+    NegatedClass,
+    Optional,
+    Plus,
+    RegexNode,
+    Star,
+    Symbol,
+    Union,
+)
+from repro.baselines.base import BaselineEngine, _Budget
+from repro.core.result import QueryStats
+from repro.errors import ConstructionError
+
+
+class AlpEngine(BaselineEngine):
+    """Spec-faithful ALP evaluation, no query planning (Jena profile)."""
+
+    name = "alp-jena"
+    #: Whether the planner optimisations are active (subclass switch).
+    plans = False
+
+    # ------------------------------------------------------------------
+
+    def _evaluate(
+        self,
+        expr: RegexNode,
+        subject_id: int | None,
+        object_id: int | None,
+        budget: _Budget,
+        limit: int | None,
+        stats: QueryStats,
+    ) -> set[tuple[int, int]]:
+        flipped = False
+        if subject_id is None and object_id is not None:
+            # Both systems rewrite a bound-object path to its inverse —
+            # that much is in the SPARQL spec's evaluation rules.
+            expr = expr.reverse()
+            subject_id, object_id = object_id, subject_id
+            flipped = True
+        elif (
+            self.plans
+            and subject_id is None
+            and object_id is None
+            and self._object_side_cheaper(expr)
+        ):
+            expr = expr.reverse()
+            flipped = True
+
+        evaluator = _AlpEvaluator(self, budget, stats, self.plans)
+        seeds = None if subject_id is None else {subject_id}
+        pairs = evaluator.eval(expr, seeds)
+        if object_id is not None:
+            pairs = {(s, o) for s, o in pairs if o == object_id}
+        if flipped:
+            pairs = {(o, s) for s, o in pairs}
+        if limit is not None and len(pairs) > limit:
+            stats.truncated = True
+            pairs = set(sorted(pairs)[:limit])
+        return pairs
+
+    # ------------------------------------------------------------------
+
+    def _object_side_cheaper(self, expr: RegexNode) -> bool:
+        """Cardinality heuristic over the first/last atoms (planner)."""
+        automaton = build_glushkov(expr)
+
+        def side_cost(mask: int) -> int:
+            total = 0
+            seen: set[int] = set()
+            state = mask
+            position = 0
+            while state:
+                if state & 1 and position > 0:
+                    atom = automaton.atoms[position - 1]
+                    for pid in self.atom_predicates(atom):
+                        if pid not in seen:
+                            seen.add(pid)
+                            total += self.graph.predicate_count(pid)
+                state >>= 1
+                position += 1
+            return total
+
+        return side_cost(automaton.last_mask) < side_cost(
+            automaton.first_mask
+        )
+
+
+class AlpPlannerEngine(AlpEngine):
+    """ALP with side selection and useful-start seeding (Blazegraph)."""
+
+    name = "alp-blazegraph"
+    plans = True
+
+
+class _AlpEvaluator:
+    """Left-to-right, seed-driven evaluation of one expression tree."""
+
+    def __init__(self, engine: AlpEngine, budget: _Budget,
+                 stats: QueryStats, plans: bool):
+        self.engine = engine
+        self.graph = engine.graph
+        self.budget = budget
+        self.stats = stats
+        self.plans = plans
+        self._step_memo: dict[tuple[int, int], frozenset[int]] = {}
+
+    # ------------------------------------------------------------------
+
+    def eval(self, expr: RegexNode,
+             seeds: set[int] | None) -> set[tuple[int, int]]:
+        """Pairs ``(s, o)`` matching ``expr`` with ``s`` restricted to
+        ``seeds`` (``None`` = unrestricted)."""
+        if isinstance(expr, Epsilon):
+            domain = self.engine.all_nodes() if seeds is None else seeds
+            return {(v, v) for v in domain}
+
+        if isinstance(expr, (Symbol, NegatedClass)):
+            return self._eval_atom(expr, seeds)
+
+        if isinstance(expr, Union):
+            pairs: set[tuple[int, int]] = set()
+            for child in expr.children:
+                pairs |= self.eval(child, seeds)
+            return pairs
+
+        if isinstance(expr, Concat):
+            pairs = self.eval(expr.children[0], seeds)
+            for child in expr.children[1:]:
+                mid_to_subjects: dict[int, set[int]] = {}
+                for s, mid in pairs:
+                    mid_to_subjects.setdefault(mid, set()).add(s)
+                next_pairs = self.eval(child, set(mid_to_subjects))
+                pairs = set()
+                for mid, o in next_pairs:
+                    for s in mid_to_subjects.get(mid, ()):
+                        pairs.add((s, o))
+                        self.budget.tick()
+            return pairs
+
+        if isinstance(expr, Star):
+            return self._closure(expr.child, seeds, include_zero=True)
+        if isinstance(expr, Plus):
+            return self._closure(expr.child, seeds, include_zero=False)
+        if isinstance(expr, Optional):
+            domain = self.engine.all_nodes() if seeds is None else seeds
+            pairs = self.eval(expr.child, seeds)
+            return pairs | {(v, v) for v in domain}
+
+        raise ConstructionError(f"unknown regex node {type(expr).__name__}")
+
+    # ------------------------------------------------------------------
+
+    def _eval_atom(self, atom: Symbol | NegatedClass,
+                   seeds: set[int] | None) -> set[tuple[int, int]]:
+        pids = self.engine.atom_predicates(atom)
+        pairs: set[tuple[int, int]] = set()
+        if seeds is None:
+            for pid in pids:
+                edges = self.graph.edges_of(pid)
+                self.stats.storage_ops += len(edges)
+                for s, o in edges:
+                    self.budget.tick()
+                    pairs.add((s, o))
+        elif isinstance(atom, Symbol):
+            # Bound subject + bound predicate: an SPO index probe, the
+            # way a real store evaluates it.
+            for s in seeds:
+                for pid in pids:
+                    hits = self.graph.targets(s, pid)
+                    self.stats.storage_ops += max(1, len(hits))
+                    for o in hits:
+                        self.budget.tick()
+                        pairs.add((s, o))
+        else:
+            # Negated class: the store must scan the node's edges.
+            for s in seeds:
+                edges = self.graph.out_edges(s)
+                self.stats.storage_ops += len(edges)
+                for pid, o in edges:
+                    self.budget.tick()
+                    if pid in pids:
+                        pairs.add((s, o))
+        self.stats.product_edges += len(pairs)
+        return pairs
+
+    # ------------------------------------------------------------------
+
+    def _closure(self, child: RegexNode, seeds: set[int] | None,
+                 include_zero: bool) -> set[tuple[int, int]]:
+        """The ALP procedure: one BFS per start binding."""
+        # A nullable child makes E+ contain ε: zero-length pairs apply
+        # even without the Kleene star's explicit zero case.
+        include_zero = include_zero or child.length_range()[0] == 0
+        if seeds is None:
+            if self.plans:
+                starts = self._useful_starts(child)
+            else:
+                starts = set(self.engine.all_nodes())
+            if include_zero:
+                # Zero-length paths range over every node regardless.
+                zero = {(v, v) for v in self.engine.all_nodes()}
+            else:
+                zero = set()
+        else:
+            starts = set(seeds)
+            zero = {(v, v) for v in starts} if include_zero else set()
+
+        pairs = set(zero)
+        child_key = id(child)
+        for start in starts:
+            self.budget.tick()
+            reached = self._alp_walk(child, child_key, start)
+            pairs.update((start, node) for node in reached)
+        return pairs
+
+    def _alp_walk(self, child: RegexNode, child_key: int,
+                  start: int) -> set[int]:
+        """Nodes reachable from ``start`` by one-or-more child steps."""
+        visited: set[int] = set()
+        frontier = deque(self._step(child, child_key, start))
+        visited.update(frontier)
+        while frontier:
+            self.budget.tick()
+            node = frontier.popleft()
+            self.stats.product_nodes += 1
+            for nxt in self._step(child, child_key, node):
+                if nxt not in visited:
+                    visited.add(nxt)
+                    frontier.append(nxt)
+        return visited
+
+    def _step(self, child: RegexNode, child_key: int,
+              node: int) -> frozenset[int]:
+        # Only atomic steps are memoised: real systems cache triple
+        # lookups, not the expansions of compound sub-path expressions,
+        # which ALP re-evaluates on every step.
+        atomic = isinstance(child, (Symbol, NegatedClass))
+        memo_key = (child_key, node)
+        if atomic:
+            cached = self._step_memo.get(memo_key)
+            if cached is not None:
+                self.stats.storage_ops += 1
+                return cached
+        targets = frozenset(o for _, o in self.eval(child, {node}))
+        if atomic:
+            self._step_memo[memo_key] = targets
+        return targets
+
+    def _useful_starts(self, child: RegexNode) -> set[int]:
+        """Planner seeding: nodes with an edge matching a first atom."""
+        automaton = build_glushkov(child)
+        useful: set[int] = set()
+        position = 0
+        mask = automaton.first_mask
+        while mask:
+            if mask & 1 and position > 0:
+                atom = automaton.atoms[position - 1]
+                for pid in self.engine.atom_predicates(atom):
+                    for s, _ in self.graph.edges_of(pid):
+                        useful.add(s)
+            mask >>= 1
+            position += 1
+        return useful

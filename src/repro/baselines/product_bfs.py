@@ -1,0 +1,137 @@
+"""Classical product-graph BFS (the "traditional algorithm" of §1).
+
+The query's expression is compiled to an ε-free NFA via Thompson's
+construction; evaluation is a breadth-first search over (graph node,
+NFA state) pairs, expanding the product graph lazily one node at a
+time.  This is the algorithm the paper's complexity discussion is
+anchored on, and the ablation counterpart of the ring engine's
+bit-parallel multi-state traversal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.automata.syntax import RegexNode
+from repro.automata.thompson import EpsilonFreeNFA, build_thompson
+from repro.baselines.base import BaselineEngine, _Budget
+from repro.core.result import QueryStats
+
+
+class ProductBFSEngine(BaselineEngine):
+    """Node-at-a-time BFS over the lazily expanded product graph."""
+
+    name = "product-bfs"
+
+    # ------------------------------------------------------------------
+
+    def _compile(self, expr: RegexNode) -> tuple[EpsilonFreeNFA,
+                                                 list[dict[int, list[int]]]]:
+        """Thompson NFA plus per-state predicate→targets transition maps."""
+        nfa = build_thompson(expr)
+        delta: list[dict[int, list[int]]] = [dict() for _ in
+                                             range(nfa.num_states)]
+        for state in range(nfa.num_states):
+            for atom, target in nfa.successors(state):
+                for pid in self.atom_predicates(atom):
+                    delta[state].setdefault(pid, []).append(target)
+        return nfa, delta
+
+    def _evaluate(
+        self,
+        expr: RegexNode,
+        subject_id: int | None,
+        object_id: int | None,
+        budget: _Budget,
+        limit: int | None,
+        stats: QueryStats,
+    ) -> set[tuple[int, int]]:
+        # Normalise to a forward search from the subject side: a fixed
+        # object becomes a fixed subject of the reversed expression.
+        flipped = subject_id is None and object_id is not None
+        if flipped:
+            expr = expr.reverse()
+            subject_id, object_id = object_id, subject_id
+
+        nfa, delta = self._compile(expr)
+        stats.nfa_states = max(stats.nfa_states, nfa.num_states)
+        pairs: set[tuple[int, int]] = set()
+
+        nullable = nfa.initial in nfa.finals
+        if nullable:
+            # Zero-length pairs are of the form (v, v), so the flip
+            # normalisation does not affect them.
+            pairs |= self.zero_length_pairs(subject_id, object_id)
+
+        if subject_id is not None:
+            starts: list[int] = [subject_id]
+        else:
+            # Variable-to-variable: one BFS per node that has at least
+            # one edge matching some initial NFA transition.
+            useful = set()
+            for pid in delta[nfa.initial]:
+                for s, _ in self.graph.edges_of(pid):
+                    useful.add(s)
+            starts = sorted(useful)
+
+        for start in starts:
+            budget.tick()
+            found = self._bfs(
+                nfa, delta, start, object_id, budget, stats
+            )
+            if object_id is not None:
+                found &= {object_id}
+            for node in found:
+                pairs.add((node, start) if flipped else (start, node))
+                if limit is not None and len(pairs) >= limit:
+                    stats.truncated = True
+                    return set(sorted(pairs)[:limit])
+        if limit is not None and len(pairs) > limit:
+            # The zero-length pairs of a nullable expression can exceed
+            # the cap before the search even starts.
+            stats.truncated = True
+            pairs = set(sorted(pairs)[:limit])
+        return pairs
+
+    # ------------------------------------------------------------------
+
+    def _bfs(
+        self,
+        nfa: EpsilonFreeNFA,
+        delta: list[dict[int, list[int]]],
+        start: int,
+        target: int | None,
+        budget: _Budget,
+        stats: QueryStats,
+    ) -> set[int]:
+        """All nodes reachable from ``start`` in an accepting NFA state
+        via a non-empty path (empty paths are handled by the caller)."""
+        visited = {(start, nfa.initial)}
+        queue = deque(visited)
+        found: set[int] = set()
+        while queue:
+            budget.tick()
+            node, state = queue.popleft()
+            stats.product_nodes += 1
+            transitions = delta[state]
+            if not transitions:
+                continue
+            edges = self.graph.out_edges(node)
+            stats.storage_ops += len(edges)
+            for pid, neighbour in edges:
+                targets = transitions.get(pid)
+                if not targets:
+                    continue
+                for next_state in targets:
+                    key = (neighbour, next_state)
+                    if key in visited:
+                        continue
+                    visited.add(key)
+                    stats.product_edges += 1
+                    if next_state in nfa.finals:
+                        found.add(neighbour)
+                        if target is not None and neighbour == target:
+                            return found
+                    queue.append(key)
+        stats.visited_nodes = max(stats.visited_nodes, len(visited))
+        return found

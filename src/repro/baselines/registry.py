@@ -1,0 +1,65 @@
+"""Engine registry: build every comparable engine from one index.
+
+The benchmark harness asks for "all systems of Table 2"; this module
+wires the ring engine and the three baseline profiles to a common
+construction path, including the space model used for the table's
+bytes-per-edge column (see :mod:`repro.bench.space` for the model's
+derivation).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.alp import AlpEngine, AlpPlannerEngine
+from repro.baselines.base import EncodedGraph
+from repro.baselines.product_bfs import ProductBFSEngine
+from repro.baselines.transitive import SemiNaiveEngine
+from repro.core.engine import RingRPQEngine
+from repro.errors import ConstructionError
+from repro.ring.builder import RingIndex
+
+#: Baseline engine classes by name.
+BASELINE_CLASSES = {
+    AlpEngine.name: AlpEngine,
+    AlpPlannerEngine.name: AlpPlannerEngine,
+    ProductBFSEngine.name: ProductBFSEngine,
+    SemiNaiveEngine.name: SemiNaiveEngine,
+}
+
+#: The Table 2 line-up, in the paper's column order.
+TABLE2_ENGINES = (
+    "ring",
+    AlpEngine.name,            # Jena
+    SemiNaiveEngine.name,      # Virtuoso
+    AlpPlannerEngine.name,     # Blazegraph
+)
+
+#: Pretty names matching the paper's columns.
+PAPER_NAMES = {
+    "ring": "Ring",
+    AlpEngine.name: "Jena (ALP)",
+    SemiNaiveEngine.name: "Virtuoso (semi-naive)",
+    AlpPlannerEngine.name: "Blazegraph (ALP+plan)",
+    ProductBFSEngine.name: "Product-BFS",
+}
+
+
+def make_engine(name: str, index: RingIndex,
+                encoded: EncodedGraph | None = None):
+    """Instantiate one engine by registry name."""
+    if name == "ring":
+        return RingRPQEngine(index)
+    cls = BASELINE_CLASSES.get(name)
+    if cls is None:
+        raise ConstructionError(
+            f"unknown engine {name!r}; known: ring, "
+            + ", ".join(sorted(BASELINE_CLASSES))
+        )
+    if encoded is None:
+        encoded = EncodedGraph.from_index(index)
+    return cls(encoded)
+
+
+def all_engines(index: RingIndex, names: tuple[str, ...] = TABLE2_ENGINES):
+    """Build the requested engines, sharing one encoded graph."""
+    encoded = EncodedGraph.from_index(index)
+    return {name: make_engine(name, index, encoded) for name in names}

@@ -1,0 +1,35 @@
+"""Benchmark harness: workload generation, timing, space accounting.
+
+One module per concern:
+
+* :mod:`repro.bench.patterns` — RPQ pattern classification and the
+  paper's Table 1 reference distribution;
+* :mod:`repro.bench.workload` — synthetic query-log generation that
+  follows the Table 1 pattern mix;
+* :mod:`repro.bench.space` — index space models (Table 2's
+  bytes-per-edge column);
+* :mod:`repro.bench.runner` — executing a query log across engines
+  with timeouts and result caps;
+* :mod:`repro.bench.stats` — aggregation (averages, medians, timeout
+  counts, five-number summaries);
+* :mod:`repro.bench.boxplot` — text rendering of Fig. 8's boxplots;
+* :mod:`repro.bench.context` — one-stop benchmark environment builder;
+* :mod:`repro.bench.table1` / :mod:`repro.bench.table2` /
+  :mod:`repro.bench.fig8` — drivers that regenerate each published
+  artifact (also runnable as ``python -m repro.bench.tableN``).
+"""
+
+from repro.bench.context import BenchmarkContext, build_context
+from repro.bench.patterns import TABLE1_REFERENCE, classify_query
+from repro.bench.runner import BenchmarkResults, run_benchmark
+from repro.bench.workload import generate_query_log
+
+__all__ = [
+    "BenchmarkContext",
+    "BenchmarkResults",
+    "TABLE1_REFERENCE",
+    "build_context",
+    "classify_query",
+    "generate_query_log",
+    "run_benchmark",
+]

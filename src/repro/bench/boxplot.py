@@ -1,0 +1,90 @@
+"""Text rendering of timing boxplots (Fig. 8).
+
+Each (pattern, engine) cell becomes one line: a log-scaled axis with
+``|-----[==M==]-----|`` marking min, quartiles, median and max —
+enough to read the same story as the paper's figure (which systems
+win which patterns, and by how much).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.stats import FiveNumber
+
+_AXIS_WIDTH = 46
+
+
+def _position(value: float, lo: float, hi: float) -> int:
+    """Map a value into [0, width) on a log scale."""
+    if hi <= lo:
+        return 0
+    v = math.log10(max(value, lo))
+    span = math.log10(hi) - math.log10(lo)
+    frac = (v - math.log10(lo)) / span if span > 0 else 0.0
+    return min(_AXIS_WIDTH - 1, max(0, round(frac * (_AXIS_WIDTH - 1))))
+
+
+def render_box(summary: FiveNumber, lo: float, hi: float) -> str:
+    """One boxplot line on a shared log axis ``[lo, hi]``."""
+    cells = [" "] * _AXIS_WIDTH
+    p_min = _position(summary.minimum, lo, hi)
+    p_q1 = _position(summary.q1, lo, hi)
+    p_med = _position(summary.median, lo, hi)
+    p_q3 = _position(summary.q3, lo, hi)
+    p_max = _position(summary.maximum, lo, hi)
+    for i in range(p_min, p_max + 1):
+        cells[i] = "-"
+    for i in range(p_q1, p_q3 + 1):
+        cells[i] = "="
+    cells[p_min] = "|"
+    cells[p_max] = "|"
+    if p_q1 < p_q3:
+        cells[p_q1] = "["
+        cells[p_q3] = "]"
+    cells[p_med] = "M"
+    return "".join(cells)
+
+
+def render_pattern_boxplots(
+    results,
+    floor: float = 1e-4,
+) -> str:
+    """The full Fig. 8 text figure from a
+    :class:`~repro.bench.runner.BenchmarkResults`."""
+    engines = results.engines()
+    lo = floor
+    hi = results.timeout
+    name_width = max(len(e) for e in engines)
+    lines: list[str] = []
+    lines.append(
+        f"time axis (log scale): {lo:g}s {'.' * (_AXIS_WIDTH - 14)} {hi:g}s"
+    )
+    for pattern in results.patterns():
+        lines.append(f"\npattern: {pattern}")
+        for engine in engines:
+            summary = results.pattern_summary(engine, pattern)
+            if summary is None:
+                continue
+            box = render_box(summary, lo, hi)
+            lines.append(
+                f"  {engine:<{name_width}} {box} "
+                f"med={summary.median:.4f}s"
+            )
+    return "\n".join(lines)
+
+
+def boxplot_csv(results) -> str:
+    """Fig. 8 as CSV: one row per (pattern, engine) five-number summary."""
+    rows = ["pattern,engine,min,q1,median,q3,max"]
+    for pattern in results.patterns():
+        for engine in results.engines():
+            summary = results.pattern_summary(engine, pattern)
+            if summary is None:
+                continue
+            mn, q1, med, q3, mx = summary.as_tuple()
+            rows.append(
+                f"\"{pattern}\",{engine},{mn:.6f},{q1:.6f},"
+                f"{med:.6f},{q3:.6f},{mx:.6f}"
+            )
+    return "\n".join(rows) + "\n"

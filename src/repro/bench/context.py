@@ -1,0 +1,99 @@
+"""One-stop benchmark environment builder.
+
+Every experiment driver (Table 2, Fig. 8, the ablations and the
+pytest-benchmark targets) needs the same setup: a Wikidata-like graph,
+a ring index, the engine line-up and a Table 1-mix query log.
+:func:`build_context` builds all of it deterministically from a few
+size knobs, so results are reproducible and drivers stay tiny.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.registry import TABLE2_ENGINES, all_engines
+from repro.bench.workload import generate_query_log
+from repro.core.query import RPQ
+from repro.graph.generators import wikidata_like
+from repro.graph.model import Graph
+from repro.ring.builder import RingIndex
+
+
+@dataclass
+class BenchmarkContext:
+    """Everything one benchmark run needs."""
+
+    graph: Graph
+    index: RingIndex
+    engines: dict[str, object]
+    queries: list[RPQ]
+    timeout: float
+    limit: int
+    seed: int = 0
+    notes: dict[str, object] = field(default_factory=dict)
+
+
+#: Default sizes: chosen so a full Table 2 run (4 engines x ~170
+#: queries) completes in a few minutes of pure Python.
+DEFAULT_NODES = 3_000
+DEFAULT_EDGES = 18_000
+DEFAULT_PREDICATES = 40
+DEFAULT_SCALE = 0.1
+DEFAULT_TIMEOUT = 2.0
+DEFAULT_LIMIT = 100_000
+
+
+def build_context(
+    n_nodes: int = DEFAULT_NODES,
+    n_edges: int = DEFAULT_EDGES,
+    n_predicates: int = DEFAULT_PREDICATES,
+    log_scale: float = DEFAULT_SCALE,
+    timeout: float = DEFAULT_TIMEOUT,
+    limit: int = DEFAULT_LIMIT,
+    seed: int = 0,
+    engine_names: tuple[str, ...] = TABLE2_ENGINES,
+) -> BenchmarkContext:
+    """Build the standard benchmark environment.
+
+    ``log_scale`` scales the Table 1 pattern counts (1.0 = the paper's
+    1,661 top-20 queries; the default 0.1 keeps ~170 queries).
+    """
+    graph = wikidata_like(
+        n_nodes=n_nodes,
+        n_edges=n_edges,
+        n_predicates=n_predicates,
+        seed=seed,
+    )
+    index = RingIndex.from_graph(graph)
+    engines = all_engines(index, engine_names)
+    queries = generate_query_log(graph, scale=log_scale, seed=seed + 1)
+    return BenchmarkContext(
+        graph=graph,
+        index=index,
+        engines=engines,
+        queries=queries,
+        timeout=timeout,
+        limit=limit,
+        seed=seed,
+        notes={
+            "n_nodes": n_nodes,
+            "n_edges": n_edges,
+            "n_predicates": n_predicates,
+            "log_scale": log_scale,
+        },
+    )
+
+
+def tiny_context(seed: int = 0, **overrides) -> BenchmarkContext:
+    """A miniature context for tests and pytest-benchmark targets."""
+    params = dict(
+        n_nodes=400,
+        n_edges=2_400,
+        n_predicates=16,
+        log_scale=0.02,
+        timeout=5.0,
+        limit=50_000,
+        seed=seed,
+    )
+    params.update(overrides)
+    return build_context(**params)

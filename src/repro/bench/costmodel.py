@@ -1,0 +1,126 @@
+"""Calibrated substrate cost model: modeled times on the paper's stack.
+
+Why this exists
+---------------
+The paper compares a C++ ring against Java/C++ database servers; this
+reproduction compares a pure-Python ring against pure-Python baselines.
+The two substrates distort per-operation costs in *opposite*
+directions: a wavelet-matrix rank costs ~3–4 µs under CPython (vs.
+tens of nanoseconds in sdsl-based C++) while the baselines' elementary
+operation — a dict/index probe — stays near C speed (~50 ns), far
+*cheaper* than the per-triple cost of a real B+-tree-backed store.
+``benchmarks/bench_microops.py`` measures this distortion at ~70x.
+
+Wall-clock ratios therefore cannot transfer.  What does transfer is
+the *work* each engine performs — the ``storage_ops`` counters every
+engine maintains (wavelet ranks for the ring; index entries touched
+for the baselines).  This module converts those counts into modeled
+times using per-operation costs typical of the systems the engines
+stand in for:
+
+==================  ===========  =================================
+engine              cost per op  provenance
+==================  ===========  =================================
+ring                60 ns        sdsl bitvector rank on RAM-resident
+                                 data (published sdsl benchmarks;
+                                 cache-missing reads ~50-100 ns)
+alp-jena            1500 ns      Jena TDB per-triple iteration cost:
+                                 B+-tree page walk + NodeId
+                                 materialisation + JVM iterator
+                                 overhead (commonly measured ~1-5 µs)
+alp-blazegraph      1200 ns      Blazegraph statement-index iteration,
+                                 same structure, leaner pipeline
+seminaive-virtuoso  400 ns       Virtuoso column-store row scan
+                                 (vectorised, C++)
+product-bfs         100 ns       idealised in-memory adjacency list
+==================  ===========  =================================
+
+The constants are *inputs to a simulation*, documented and adjustable —
+EXPERIMENTS.md reports modeled times clearly labeled as such, next to
+(never instead of) the honest wall-clock measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.runner import BenchmarkResults, QueryRecord
+from repro.bench.stats import Summary, summarize
+
+#: Modeled per-storage-operation cost, in seconds.
+DEFAULT_COSTS = {
+    "ring": 60e-9,
+    "alp-jena": 1500e-9,
+    "alp-blazegraph": 1200e-9,
+    "seminaive-virtuoso": 400e-9,
+    "product-bfs": 100e-9,
+}
+
+#: The paper's timeout; modeled times are censored here.
+MODELED_TIMEOUT = 60.0
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-engine operation costs plus the modeled timeout."""
+
+    costs: dict[str, float]
+    timeout: float = MODELED_TIMEOUT
+
+    @classmethod
+    def default(cls) -> "CostModel":
+        return cls(dict(DEFAULT_COSTS))
+
+    def modeled_time(self, record: QueryRecord) -> float:
+        """Modeled seconds for one query record.
+
+        A query that hit the *wall-clock* timeout has censored
+        operation counts, so it is pinned to the modeled timeout.
+        """
+        if record.timed_out:
+            return self.timeout
+        cost = self.costs.get(record.engine)
+        if cost is None:
+            raise KeyError(f"no cost model for engine {record.engine!r}")
+        return min(self.timeout, record.storage_ops * cost)
+
+    def summary(self, results: BenchmarkResults, engine: str,
+                shape: str | None = None) -> Summary:
+        """Table 2-style modeled summary for one engine."""
+        records = [
+            r for r in results.records
+            if r.engine == engine and (shape is None or r.shape == shape)
+        ]
+        times = [self.modeled_time(r) for r in records]
+        flags = [t >= self.timeout for t in times]
+        return summarize(times, flags, self.timeout)
+
+    def pattern_median(self, results: BenchmarkResults, engine: str,
+                       pattern: str) -> float | None:
+        """Median modeled time of one (engine, pattern) cell."""
+        times = sorted(
+            self.modeled_time(r)
+            for r in results.records
+            if r.engine == engine and r.pattern == pattern
+        )
+        if not times:
+            return None
+        mid = len(times) // 2
+        if len(times) % 2:
+            return times[mid]
+        return (times[mid - 1] + times[mid]) / 2
+
+    def pattern_wins(self, results: BenchmarkResults) -> dict[str, str]:
+        """Per pattern, the engine with the lowest modeled median."""
+        wins: dict[str, str] = {}
+        for pattern in results.patterns():
+            best, best_value = None, None
+            for engine in results.engines():
+                value = self.pattern_median(results, engine, pattern)
+                if value is None:
+                    continue
+                if best_value is None or value < best_value:
+                    best, best_value = engine, value
+            if best is not None:
+                wins[pattern] = best
+        return wins

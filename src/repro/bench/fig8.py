@@ -1,0 +1,108 @@
+"""Figure 8 regenerator: per-pattern query-time boxplots.
+
+Runs the same benchmark as Table 2 and renders, for every RPQ pattern
+of the log, one boxplot per engine on a shared log-scale axis —
+the text analogue of the paper's Fig. 8.  Also reports which engine
+wins each pattern and what share of the log the ring-winning patterns
+cover (the paper: best in 9/20 patterns ≈ 45.39% of the log, all of
+them containing ``*`` or ``+``).
+
+Run as ``python -m repro.bench.fig8 [--csv OUT.csv] [size knobs]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import Counter
+
+from repro.bench.boxplot import boxplot_csv, render_pattern_boxplots
+from repro.bench.context import BenchmarkContext, build_context
+from repro.bench.costmodel import CostModel
+from repro.bench.patterns import RECURSIVE_PATTERNS, classify_query
+from repro.bench.runner import BenchmarkResults, run_benchmark
+
+
+def compute_fig8(context: BenchmarkContext) -> BenchmarkResults:
+    """Run the benchmark backing the figure."""
+    return run_benchmark(
+        context.engines,
+        context.queries,
+        timeout=context.timeout,
+        limit=context.limit,
+    )
+
+
+def win_report(context: BenchmarkContext,
+               results: BenchmarkResults) -> str:
+    """Which engine wins each pattern, wall-clock and modeled."""
+    wins = results.pattern_wins()
+    model = CostModel.default()
+    model_wins = model.pattern_wins(results)
+    counts = Counter(classify_query(q) for q in context.queries)
+    total = sum(counts.values())
+
+    def share(winner_map: dict[str, str]) -> tuple[int, float]:
+        ring_patterns = [p for p, e in winner_map.items() if e == "ring"]
+        return (
+            len(ring_patterns),
+            sum(counts[p] for p in ring_patterns) / max(1, total),
+        )
+
+    lines = [
+        "",
+        "per-pattern winners (lowest median: wall-clock | modeled):",
+    ]
+    for pattern in results.patterns():
+        marker = " (recursive)" if pattern in RECURSIVE_PATTERNS else ""
+        lines.append(
+            f"  {pattern:<14} -> {wins.get(pattern, '-'):<20} | "
+            f"{model_wins.get(pattern, '-')}{marker}"
+        )
+    wall_n, wall_share = share(wins)
+    model_n, model_share = share(model_wins)
+    lines += [
+        "",
+        f"wall-clock: ring wins {wall_n}/{len(wins)} patterns "
+        f"({100 * wall_share:.1f}% of the log)",
+        f"modeled substrate: ring wins {model_n}/{len(model_wins)} "
+        f"patterns ({100 * model_share:.1f}% of the log) "
+        "(paper: 9/20 patterns, 45.39% of the log, all recursive)",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--csv", type=str, default=None,
+                        help="also write the five-number summaries as CSV")
+    parser.add_argument("--nodes", type=int, default=None)
+    parser.add_argument("--edges", type=int, default=None)
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--timeout", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    overrides = {}
+    if args.nodes is not None:
+        overrides["n_nodes"] = args.nodes
+    if args.edges is not None:
+        overrides["n_edges"] = args.edges
+    if args.scale is not None:
+        overrides["log_scale"] = args.scale
+    if args.timeout is not None:
+        overrides["timeout"] = args.timeout
+    context = build_context(seed=args.seed, **overrides)
+    results = compute_fig8(context)
+
+    print("Figure 8: distribution of query times per pattern\n")
+    print(render_pattern_boxplots(results))
+    print(win_report(context, results))
+
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(boxplot_csv(results))
+        print(f"\nwrote {args.csv}")
+
+
+if __name__ == "__main__":
+    main()

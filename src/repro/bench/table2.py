@@ -1,0 +1,226 @@
+"""Table 2 regenerator: index space and query-time statistics.
+
+Builds the standard benchmark context, runs the full query log on the
+Table 2 engine line-up (ring / Jena-ALP / Virtuoso-semi-naive /
+Blazegraph-ALP+plan) and prints the same rows the paper reports:
+
+* Space (bytes per edge),
+* Average / Median query time and timeout counts,
+* the c-to-v and v-to-v breakdowns,
+
+plus the §5 in-text working-space figures and the paper's headline
+ratios (space ratio vs the smallest competitor, speed-up vs the next
+best average).
+
+Run as ``python -m repro.bench.table2 [--nodes N] [--edges M] ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.bench.context import BenchmarkContext, build_context
+from repro.bench.costmodel import CostModel
+from repro.bench.runner import BenchmarkResults, run_benchmark
+from repro.bench.space import (
+    engine_bytes_per_edge,
+    packed_bytes_per_edge,
+    ring_bytes_per_edge,
+    working_space_bytes_per_edge,
+)
+from repro.baselines.registry import PAPER_NAMES
+
+
+@dataclass
+class Table2:
+    """The computed table, ready for rendering or assertions."""
+
+    context: BenchmarkContext
+    results: BenchmarkResults
+    space: dict[str, float]
+
+    def engines(self) -> list[str]:
+        return self.results.engines()
+
+    def speedup_vs_next_best(self) -> tuple[float, str]:
+        """Ring's average-time speed-up over the best non-ring engine."""
+        ring_avg = self.results.summary("ring").average
+        best_other, best_name = None, ""
+        for engine in self.engines():
+            if engine == "ring":
+                continue
+            avg = self.results.summary(engine).average
+            if best_other is None or avg < best_other:
+                best_other, best_name = avg, engine
+        if not best_other or not ring_avg:
+            return (float("inf"), best_name)
+        return (best_other / ring_avg, best_name)
+
+    def space_ratio_range(self) -> tuple[float, float]:
+        """min/max ratio of competitor space to ring space."""
+        ring = self.space["ring"]
+        others = [v for k, v in self.space.items() if k != "ring"]
+        return (min(others) / ring, max(others) / ring)
+
+
+def compute_table2(context: BenchmarkContext) -> Table2:
+    """Run the benchmark and assemble the table."""
+    results = run_benchmark(
+        context.engines,
+        context.queries,
+        timeout=context.timeout,
+        limit=context.limit,
+    )
+    space = {
+        name: engine_bytes_per_edge(name, context.index)
+        for name in context.engines
+    }
+    return Table2(context=context, results=results, space=space)
+
+
+def _format_ops(value: float) -> str:
+    if value >= 1e6:
+        return f"{value / 1e6:.1f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}k"
+    return f"{value:.0f}"
+
+
+def format_table2(table: Table2) -> str:
+    """Render the table in the paper's layout."""
+    context = table.context
+    results = table.results
+    engines = table.engines()
+    width = max(len(PAPER_NAMES.get(e, e)) for e in engines)
+
+    def row(label: str, cells: list[str]) -> str:
+        return f"{label:<16}" + "".join(f"{c:>{width + 2}}" for c in cells)
+
+    header = [PAPER_NAMES.get(e, e) for e in engines]
+    lines = [
+        "Table 2: index space (bytes per edge) and query time statistics",
+        f"graph: |V|={context.notes['n_nodes']} "
+        f"|E|={len(context.graph)} |P|={context.notes['n_predicates']} "
+        f"queries={len(context.queries)} timeout={context.timeout}s",
+        "",
+        row("", header),
+        row("Space", [f"{table.space[e]:.2f}" for e in engines]),
+        row("Average", [f"{results.summary(e).average:.3f}"
+                        for e in engines]),
+        row("Median", [f"{results.summary(e).median:.3f}"
+                       for e in engines]),
+        row("Timeouts", [str(results.summary(e).timeouts)
+                         for e in engines]),
+        row("Average c-to-v", [
+            f"{results.summary(e, 'c-to-v').average:.3f}" for e in engines
+        ]),
+        row("Median c-to-v", [
+            f"{results.summary(e, 'c-to-v').median:.3f}" for e in engines
+        ]),
+        row("Average v-to-v", [
+            f"{results.summary(e, 'v-to-v').average:.3f}" for e in engines
+        ]),
+        row("Median v-to-v", [
+            f"{results.summary(e, 'v-to-v').median:.3f}" for e in engines
+        ]),
+        row("Ops (mean)", [
+            _format_ops(results.mean_storage_ops(e)) for e in engines
+        ]),
+        row("Ops c-to-v", [
+            _format_ops(results.mean_storage_ops(e, "c-to-v"))
+            for e in engines
+        ]),
+        row("Ops v-to-v", [
+            _format_ops(results.mean_storage_ops(e, "v-to-v"))
+            for e in engines
+        ]),
+    ]
+
+    model = CostModel.default()
+    lines += [
+        "",
+        "modeled on the paper's substrate (storage ops x documented "
+        "per-op costs; see repro/bench/costmodel.py):",
+        row("Model avg", [
+            f"{model.summary(results, e).average:.3f}" for e in engines
+        ]),
+        row("Model median", [
+            f"{model.summary(results, e).median:.3f}" for e in engines
+        ]),
+        row("Model c-to-v", [
+            f"{model.summary(results, e, 'c-to-v').average:.3f}"
+            for e in engines
+        ]),
+        row("Model v-to-v", [
+            f"{model.summary(results, e, 'v-to-v').average:.3f}"
+            for e in engines
+        ]),
+    ]
+    ring_model = model.summary(results, "ring").average
+    other_models = [
+        (model.summary(results, e).average, e)
+        for e in engines if e != "ring"
+    ]
+    if ring_model > 0 and other_models:
+        best_other, best_name = min(other_models)
+        lines.append(
+            f"modeled ring speed-up vs next best "
+            f"({PAPER_NAMES.get(best_name, best_name)}): "
+            f"{best_other / ring_model:.2f}x (paper: 1.67x)"
+        )
+
+    packed = packed_bytes_per_edge(context.index)
+    working = working_space_bytes_per_edge(context.index)
+    speedup, runner_up = table.speedup_vs_next_best()
+    lo, hi = table.space_ratio_range()
+    lines += [
+        "",
+        f"packed data baseline: {packed:.2f} bytes/edge "
+        f"(ring = {ring_bytes_per_edge(context.index) / packed:.2f}x "
+        "packed; the paper's ring is ~1.9x its packed form)",
+        f"ring query-time working space: +{working:.2f} bytes/edge (§5 "
+        "reports +3.09 for D and +~0 for B)",
+        f"space ratio vs others: {lo:.1f}x - {hi:.1f}x "
+        "(paper: 3-5x smaller than alternatives)",
+        f"ring speed-up vs next best ({PAPER_NAMES.get(runner_up, runner_up)}): "
+        f"{speedup:.2f}x on average (paper: 1.67x vs Blazegraph)",
+    ]
+    disagreements = results.consistency_check()
+    if disagreements:
+        lines.append("")
+        lines.append("WARNING: engines disagreed on "
+                     f"{len(disagreements)} queries!")
+        lines.extend(f"  {d}" for d in disagreements[:5])
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=None)
+    parser.add_argument("--edges", type=int, default=None)
+    parser.add_argument("--predicates", type=int, default=None)
+    parser.add_argument("--scale", type=float, default=None,
+                        help="query-log scale (1.0 = paper counts)")
+    parser.add_argument("--timeout", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    overrides = {}
+    if args.nodes is not None:
+        overrides["n_nodes"] = args.nodes
+    if args.edges is not None:
+        overrides["n_edges"] = args.edges
+    if args.predicates is not None:
+        overrides["n_predicates"] = args.predicates
+    if args.scale is not None:
+        overrides["log_scale"] = args.scale
+    if args.timeout is not None:
+        overrides["timeout"] = args.timeout
+    context = build_context(seed=args.seed, **overrides)
+    table = compute_table2(context)
+    print(format_table2(table))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,178 @@
+"""Command-line interface: ``ring-rpq`` (or ``python -m repro``).
+
+Subcommands::
+
+    ring-rpq query GRAPH.nt "(?x, p1/p2*, ?y)"    evaluate one RPQ
+    ring-rpq match GRAPH.nt ? p ?                  triple-pattern lookup
+    ring-rpq stats GRAPH.nt                        index statistics
+    ring-rpq bench table1|table2|fig8 [...]        regenerate artifacts
+    ring-rpq generate OUT.nt --nodes N --edges M   synthetic dataset
+
+Graphs are whitespace-separated triple files (one ``s p o`` per line;
+see :mod:`repro.graph.io`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import fig8, table1, table2
+from repro.baselines.registry import BASELINE_CLASSES, make_engine
+from repro.graph.generators import wikidata_like
+from repro.graph.io import load_graph, save_graph
+from repro.ring.builder import RingIndex
+
+
+def _load_index(path: str, symmetric: list[str]) -> RingIndex:
+    graph = load_graph(path, symmetric_predicates=symmetric)
+    return RingIndex.from_graph(graph)
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    index = _load_index(args.graph, args.symmetric)
+    engine = (
+        index.engine
+        if args.engine == "ring"
+        else make_engine(args.engine, index)
+    )
+    started = time.monotonic()
+    result = engine.evaluate(
+        args.query, timeout=args.timeout, limit=args.limit
+    )
+    elapsed = time.monotonic() - started
+    for s, o in result:
+        print(f"{s}\t{o}")
+    flags = []
+    if result.stats.timed_out:
+        flags.append("TIMEOUT")
+    if result.stats.truncated:
+        flags.append("TRUNCATED")
+    suffix = f" [{', '.join(flags)}]" if flags else ""
+    print(
+        f"# {len(result)} result(s) in {elapsed:.3f}s via "
+        f"{args.engine}{suffix}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_match(args: argparse.Namespace) -> int:
+    index = _load_index(args.graph, args.symmetric)
+
+    def component(token: str) -> str | None:
+        return None if token in ("?", "_", "*") else token
+
+    triples = index.match_pattern(
+        component(args.s), component(args.p), component(args.o)
+    )
+    count = 0
+    for s, p, o in triples:
+        print(f"{s}\t{p}\t{o}")
+        count += 1
+        if args.limit is not None and count >= args.limit:
+            break
+    print(f"# {count} triple(s)", file=sys.stderr)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.bench.space import (
+        packed_bytes_per_edge,
+        ring_bytes_per_edge,
+        working_space_bytes_per_edge,
+    )
+
+    index = _load_index(args.graph, args.symmetric)
+    d = index.dictionary
+    completed = len(index.ring)
+    print(f"nodes            : {d.num_nodes}")
+    print(f"predicates (P+)  : {d.num_predicates}")
+    print(f"completed triples: {completed}")
+    print(f"ring size        : {index.ring.size_in_bits() / 8 / 1024:.1f} KiB")
+    print(f"bytes/edge       : {ring_bytes_per_edge(index):.2f}")
+    print(f"packed baseline  : {packed_bytes_per_edge(index):.2f}")
+    print(f"working space    : +{working_space_bytes_per_edge(index):.2f}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    graph = wikidata_like(
+        n_nodes=args.nodes,
+        n_edges=args.edges,
+        n_predicates=args.predicates,
+        seed=args.seed,
+    )
+    save_graph(graph, args.out)
+    print(f"wrote {len(graph)} triples to {args.out}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    driver = {"table1": table1, "table2": table2, "fig8": fig8}[args.artifact]
+    rest = args.rest
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    driver.main(rest)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ring-rpq", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    q = sub.add_parser("query", help="evaluate one RPQ against a graph")
+    q.add_argument("graph", help="triple file (s p o per line)")
+    q.add_argument("query", help='e.g. "(?x, p1/p2*, ?y)"')
+    q.add_argument("--engine", default="ring",
+                   choices=["ring", *sorted(BASELINE_CLASSES)])
+    q.add_argument("--timeout", type=float, default=None)
+    q.add_argument("--limit", type=int, default=1_000_000)
+    q.add_argument("--symmetric", nargs="*", default=[],
+                   help="predicates stored bidirectionally")
+    q.set_defaults(func=cmd_query)
+
+    m = sub.add_parser(
+        "match", help="triple-pattern lookup (use ? for wildcards)"
+    )
+    m.add_argument("graph")
+    m.add_argument("s", help="subject or ?")
+    m.add_argument("p", help="predicate or ?")
+    m.add_argument("o", help="object or ?")
+    m.add_argument("--limit", type=int, default=None)
+    m.add_argument("--symmetric", nargs="*", default=[])
+    m.set_defaults(func=cmd_match)
+
+    s = sub.add_parser("stats", help="index statistics for a graph")
+    s.add_argument("graph")
+    s.add_argument("--symmetric", nargs="*", default=[])
+    s.set_defaults(func=cmd_stats)
+
+    g = sub.add_parser("generate", help="write a synthetic dataset")
+    g.add_argument("out")
+    g.add_argument("--nodes", type=int, default=5_000)
+    g.add_argument("--edges", type=int, default=30_000)
+    g.add_argument("--predicates", type=int, default=60)
+    g.add_argument("--seed", type=int, default=0)
+    g.set_defaults(func=cmd_generate)
+
+    b = sub.add_parser("bench", help="regenerate a published artifact")
+    b.add_argument("artifact", choices=["table1", "table2", "fig8"])
+    b.add_argument("rest", nargs=argparse.REMAINDER,
+                   help="arguments forwarded to the driver")
+    b.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

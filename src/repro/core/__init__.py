@@ -1,0 +1,24 @@
+"""The paper's primary contribution: RPQ evaluation on the ring.
+
+* :mod:`repro.core.query` — the RPQ/2RPQ query model and its textual
+  form ``(?x, expr, node)``;
+* :mod:`repro.core.result` — query results plus evaluation statistics;
+* :mod:`repro.core.planner` — start-side selection (§5);
+* :mod:`repro.core.engine` — the §4 algorithm: wavelet-tree-guided
+  backward traversal of the product graph with bit-parallel Glushkov
+  state sets.
+"""
+
+from repro.core.engine import RingRPQEngine
+from repro.core.planner import choose_anchor_side
+from repro.core.query import RPQ, Variable
+from repro.core.result import QueryResult, QueryStats
+
+__all__ = [
+    "RPQ",
+    "QueryResult",
+    "QueryStats",
+    "RingRPQEngine",
+    "Variable",
+    "choose_anchor_side",
+]

@@ -1,0 +1,854 @@
+"""The Ring-RPQ engine: §4 of the paper.
+
+Evaluation walks the product graph *backwards* — from objects toward
+subjects — without ever materialising it.  One step from the current
+object range with active NFA states ``D`` has three parts:
+
+1. **Predicates from objects** (§4.1): descend the wavelet matrix of
+   ``L_p`` restricted to the object's range, pruning every node ``v``
+   with ``D & B[v] == 0``, where ``B[v]`` is the OR of the automaton's
+   ``B`` masks below ``v``.  Thanks to Glushkov's Fact 1 the check is a
+   single AND; each surviving leaf is a predicate ``p`` that both
+   reaches the current objects and leads to an active state.
+2. **Subjects from predicates** (§4.2): a backward-search step
+   (Eqs. 4–5) maps the leaf to an ``L_s`` range; descend the wavelet
+   matrix of ``L_s``, pruning nodes whose subtree has already been
+   visited with all states of ``D' = T'[D & B[p]]`` (the ``D[v]``
+   masks); each surviving leaf is a *new* (node, state-set) visit.
+3. **Subjects back to objects** (§4.3): ``C_o`` turns the subject into
+   its ``L_p`` object range and the step repeats.
+
+A node is reported whenever the initial NFA state becomes active.
+Variable-to-variable queries run a first pass from the full ``L_p``
+range to find the bindings of one side (chosen by the §5 cardinality
+heuristic), then one anchored subquery per binding; §5's fast paths
+handle length-1/2 and disjunctive patterns with pure backward search.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from collections.abc import Iterable
+
+from repro.automata.bitparallel import ReverseSimulator
+from repro.automata.glushkov import (
+    GlushkovAutomaton,
+    build_glushkov,
+    resolve_atom_to_predicates,
+)
+from repro.automata.syntax import Concat, RegexNode, Symbol, Union
+from repro.core.planner import choose_anchor_side
+from repro.core.query import RPQ, as_query
+from repro.core.result import QueryResult, QueryStats
+from repro.errors import QueryTimeoutError
+
+#: How many inner-loop operations between wall-clock checks.
+_TICK_EVERY = 1024
+
+
+class _Budget:
+    """Shared wall-clock / result-count budget for one evaluation."""
+
+    __slots__ = ("deadline", "start", "ticks")
+
+    def __init__(self, timeout: float | None):
+        self.start = time.monotonic()
+        self.deadline = None if timeout is None else self.start + timeout
+        self.ticks = 0
+
+    def tick(self) -> None:
+        """Cheap periodic timeout check; raises on expiry."""
+        self.ticks += 1
+        if self.deadline is not None and self.ticks % _TICK_EVERY == 0:
+            if time.monotonic() > self.deadline:
+                raise QueryTimeoutError(
+                    time.monotonic() - self.start,
+                    self.deadline - self.start,
+                )
+
+    def elapsed(self) -> float:
+        """Seconds since the evaluation started."""
+        return time.monotonic() - self.start
+
+
+class _Prepared:
+    """An expression compiled against a specific index.
+
+    Holds the Glushkov automaton, the lazily-populated ``B`` masks over
+    predicate ids, the per-wavelet-node aggregates ``B[v]`` for the
+    ``L_p`` matrix, and the reverse bit-parallel simulator.
+    """
+
+    __slots__ = ("automaton", "b_masks", "bv_masks", "reverse")
+
+    def __init__(self, expr: RegexNode, index) -> None:
+        self.automaton = build_glushkov(expr)
+        dictionary = index.dictionary
+        self.b_masks = self.automaton.b_masks(
+            lambda atom: resolve_atom_to_predicates(atom, dictionary)
+        )
+        height = index.ring.L_p.height
+        bv: dict[tuple[int, int], int] = {}
+        for pid, mask in self.b_masks.items():
+            for level in range(height + 1):
+                key = (level, pid >> (height - level))
+                bv[key] = bv.get(key, 0) | mask
+        self.bv_masks = bv
+        self.reverse = ReverseSimulator(self.automaton, self.b_masks)
+
+
+class _BackwardRun:
+    """One backward product-graph traversal (BFS) on a prepared query."""
+
+    def __init__(
+        self,
+        engine: "RingRPQEngine",
+        prepared: _Prepared,
+        budget: _Budget,
+        stats: QueryStats,
+        prune: bool,
+    ):
+        self.engine = engine
+        self.prepared = prepared
+        self.budget = budget
+        self.stats = stats
+        self.prune = prune
+        self.visited: dict[int, int] = {}
+        self.vnode_visited: dict[tuple[int, int], int] = {}
+        self.base_mask = 0
+
+    def run(
+        self,
+        start_range: tuple[int, int],
+        start_node: int | None,
+        max_reported: int | None = None,
+        target: int | None = None,
+    ) -> set[int]:
+        """Traverse and return the reported node ids.
+
+        ``start_node=None`` means the full-range start of a v-to-v
+        first pass: every node is then treated as already visited with
+        the final states (minus the initial state, which must stay
+        reportable).  ``target`` enables the early exit of fixed-fixed
+        queries; ``max_reported`` implements the result cap.
+        """
+        automaton = self.prepared.automaton
+        start_mask = automaton.final_mask
+        reported: set[int] = set()
+        if start_mask == 0:
+            return reported
+
+        if start_node is None:
+            self.base_mask = start_mask & ~GlushkovAutomaton.INITIAL_MASK
+        else:
+            self.visited[start_node] = start_mask
+        full_mask = (1 << automaton.num_states) - 1
+        for node in self.engine._forbidden_ids:
+            self.visited[node] = full_mask
+
+        queue: deque[tuple[tuple[int, int], int]] = deque()
+        queue.append((start_range, start_mask))
+        pop = (queue.popleft if self.engine.traversal == "bfs"
+               else queue.pop)
+
+        while queue:
+            (b_o, e_o), d = pop()
+            if b_o >= e_o:
+                continue
+            done = self._expand(
+                b_o, e_o, d, queue, reported, max_reported, target
+            )
+            if done:
+                break
+        self.stats.visited_nodes = max(
+            self.stats.visited_nodes, len(self.visited)
+        )
+        return reported
+
+    # ------------------------------------------------------------------
+
+    def _expand(
+        self,
+        b_o: int,
+        e_o: int,
+        d: int,
+        queue: deque,
+        reported: set[int],
+        max_reported: int | None,
+        target: int | None,
+    ) -> bool:
+        """Parts 1–3 of one NFA step; True when the run should stop.
+
+        The ``L_p`` descent below is the node-API walk of §4.1 unrolled
+        onto :meth:`WaveletMatrix.traversal_data` arrays: identical
+        traversal order and pruning decisions, but without per-node
+        object construction (see the accessor's docstring).
+        """
+        ring = self.engine.ring
+        prepared = self.prepared
+        bv_masks = prepared.bv_masks
+        b_masks = prepared.b_masks
+        step_prefiltered = prepared.reverse.step_prefiltered
+        stats = self.stats
+        tick = self.budget.tick
+        prune = self.prune
+        c_p = ring.C_p
+        levels, zeros, height, _, _, bottom_start = self.engine.lp_data
+
+        stack = [(0, 0, b_o, e_o)]
+        pops = 0
+        while stack:
+            pops += 1
+            if not pops & 255:
+                tick()
+            level, prefix, b, e = stack.pop()
+            if b >= e:
+                continue
+            stats.wavelet_nodes += 1
+            stats.storage_ops += 2
+            if prune:
+                filtered = d & bv_masks.get((level, prefix), 0)
+                if filtered == 0:
+                    continue
+            if level == height:
+                pid = prefix
+                filtered = d & b_masks.get(pid, 0)
+                if filtered == 0:
+                    continue  # reachable only when pruning is disabled
+                start = bottom_start[pid]
+                base = c_p[pid]
+                b_s, e_s = base + (b - start), base + (e - start)
+                if b_s >= e_s:
+                    continue
+                stats.product_edges += 1
+                d_next = step_prefiltered(filtered)
+                if d_next == 0:
+                    continue
+                done = self._collect_subjects(
+                    b_s, e_s, d_next, queue, reported, max_reported, target
+                )
+                if done:
+                    return True
+            else:
+                words, cum, n_bits = levels[level]
+                # rank1(b), rank1(e) inlined (BitVector fast path).
+                if b <= 0:
+                    r1b = 0
+                elif b >= n_bits:
+                    r1b = cum[-1]
+                else:
+                    w = b >> 6
+                    off = b & 63
+                    r1b = cum[w]
+                    if off:
+                        r1b += (words[w] & ((1 << off) - 1)).bit_count()
+                if e >= n_bits:
+                    r1e = cum[-1]
+                else:
+                    w = e >> 6
+                    off = e & 63
+                    r1e = cum[w]
+                    if off:
+                        r1e += (words[w] & ((1 << off) - 1)).bit_count()
+                z = zeros[level]
+                next_level = level + 1
+                stack.append(
+                    (next_level, (prefix << 1) | 1, z + r1b, z + r1e)
+                )
+                stack.append(
+                    (next_level, prefix << 1, b - r1b, e - r1e)
+                )
+        return False
+
+    def _collect_subjects(
+        self,
+        b_s: int,
+        e_s: int,
+        d_next: int,
+        queue: deque,
+        reported: set[int],
+        max_reported: int | None,
+        target: int | None,
+    ) -> bool:
+        """Part 2: distinct unvisited subjects in ``L_s[b_s, e_s)``."""
+        ring = self.engine.ring
+        stats = self.stats
+        tick = self.budget.tick
+        prune = self.prune
+        visited = self.visited
+        vnode_visited = self.vnode_visited
+        base_mask = self.base_mask
+        c_o = ring.C_o.fast_list() or ring.C_o
+        levels, zeros, height, sigma, class_cum, _ = self.engine.ls_data
+        initial_mask = GlushkovAutomaton.INITIAL_MASK
+
+        stack = [(0, 0, b_s, e_s)]
+        pops = 0
+        while stack:
+            pops += 1
+            if not pops & 255:
+                tick()
+            level, prefix, b, e = stack.pop()
+            if b >= e:
+                continue
+            stats.wavelet_nodes += 1
+            stats.storage_ops += 2
+            if level == height:
+                subject = prefix
+                seen = visited.get(subject, base_mask)
+                if d_next | seen == seen:
+                    continue
+                d_new = d_next & ~seen
+                visited[subject] = seen | d_next
+                stats.product_nodes += 1
+                if d_new & initial_mask:
+                    reported.add(subject)
+                    if target is not None and subject == target:
+                        return True
+                    if (
+                        max_reported is not None
+                        and len(reported) >= max_reported
+                    ):
+                        stats.truncated = True
+                        return True
+                ob = c_o[subject]
+                oe = c_o[subject + 1]
+                if ob < oe:
+                    queue.append(((ob, oe), d_new))
+                continue
+            if prune:
+                key = (level, prefix)
+                seen = vnode_visited.get(key, base_mask)
+                if d_next | seen == seen:
+                    continue
+                # Record the visit only when the range *covers* the node
+                # (every occurrence below it is inside the range) — the
+                # paper's unconditional update is unsound for partial
+                # ranges; see DESIGN.md "Deviations".
+                shift = height - level
+                lo = prefix << shift
+                hi = lo + (1 << shift)
+                if hi > sigma:
+                    hi = sigma
+                if class_cum[hi] - class_cum[lo] == e - b:
+                    vnode_visited[key] = seen | d_next
+            words, cum, n_bits = levels[level]
+            if b <= 0:
+                r1b = 0
+            elif b >= n_bits:
+                r1b = cum[-1]
+            else:
+                w = b >> 6
+                off = b & 63
+                r1b = cum[w]
+                if off:
+                    r1b += (words[w] & ((1 << off) - 1)).bit_count()
+            if e >= n_bits:
+                r1e = cum[-1]
+            else:
+                w = e >> 6
+                off = e & 63
+                r1e = cum[w]
+                if off:
+                    r1e += (words[w] & ((1 << off) - 1)).bit_count()
+            z = zeros[level]
+            next_level = level + 1
+            stack.append((next_level, (prefix << 1) | 1, z + r1b, z + r1e))
+            stack.append((next_level, prefix << 1, b - r1b, e - r1e))
+        return False
+
+
+class RingRPQEngine:
+    """RPQ evaluation over a :class:`~repro.ring.builder.RingIndex`.
+
+    Parameters
+    ----------
+    index:
+        The ring index to evaluate against.
+    prune:
+        Enable the §4.1/§4.2 wavelet-node pruning with ``B[v]``/``D[v]``
+        masks (on by default; the off position exists for the ablation
+        benchmark and visits many more wavelet nodes).
+    fast_paths:
+        Enable the §5 special cases for length-1/2 and disjunctive
+        variable-to-variable patterns.
+    use_planner:
+        Enable the §5 start-side cardinality heuristic for
+        variable-to-variable and fixed-fixed queries; when off, the
+        subject side is always anchored first.
+    traversal:
+        ``"bfs"`` (the paper's running example) or ``"dfs"`` — the
+        order in which pending (node, state-set) entries expand.  §3.2
+        allows any graph search; answers are identical either way, the
+        memory/locality profile differs.
+    """
+
+    name = "ring"
+
+    def __init__(
+        self,
+        index,
+        prune: bool = True,
+        fast_paths: bool = True,
+        use_planner: bool = True,
+        traversal: str = "bfs",
+    ):
+        if traversal not in ("bfs", "dfs"):
+            raise ValueError("traversal must be 'bfs' or 'dfs'")
+        self.index = index
+        self.prune = prune
+        self.fast_paths = fast_paths
+        self.use_planner = use_planner
+        self.traversal = traversal
+        #: Node ids excluded from matching paths (see ``evaluate``).
+        self._forbidden_ids: frozenset[int] = frozenset()
+        self._lp_data = None
+        self._ls_data = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def ring(self):
+        """The underlying ring."""
+        return self.index.ring
+
+    @property
+    def dictionary(self):
+        """The underlying label dictionary."""
+        return self.index.dictionary
+
+    @property
+    def lp_data(self):
+        """Cached low-level traversal arrays of ``L_p``."""
+        if self._lp_data is None:
+            self._lp_data = self.ring.L_p.traversal_data()
+        return self._lp_data
+
+    @property
+    def ls_data(self):
+        """Cached low-level traversal arrays of ``L_s``."""
+        if self._ls_data is None:
+            self._ls_data = self.ring.L_s.traversal_data()
+        return self._ls_data
+
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        query: RPQ | str,
+        timeout: float | None = None,
+        limit: int | None = None,
+        forbidden_nodes: "Iterable[str] | None" = None,
+    ) -> QueryResult:
+        """Evaluate an RPQ under set semantics.
+
+        Returns a :class:`QueryResult` whose pairs are ``(subject,
+        object)`` labels.  On timeout the partial result is returned
+        with ``stats.timed_out`` set; on hitting ``limit`` it is
+        returned with ``stats.truncated`` set.
+
+        ``forbidden_nodes`` implements the §6 extension: the listed
+        nodes may not appear as *intermediate* nodes of a matching path
+        (endpoints are still allowed).  Internally they are pre-marked
+        as visited with every NFA state, exactly as the paper suggests
+        ("marking the noncomplying nodes as already visited with the
+        NFA states that enforce those conditions").
+        """
+        rpq = as_query(query)
+        stats = QueryStats()
+        budget = _Budget(timeout)
+        result = QueryResult(stats=stats)
+        previous = self._forbidden_ids
+        if forbidden_nodes is not None:
+            self._forbidden_ids = frozenset(
+                self.dictionary.node_id(label)
+                for label in forbidden_nodes
+                if self.dictionary.has_node(label)
+            )
+        try:
+            self._dispatch(rpq, budget, limit, result)
+        except QueryTimeoutError:
+            stats.timed_out = True
+        finally:
+            self._forbidden_ids = previous
+        stats.elapsed = budget.elapsed()
+        return result
+
+    def explain(self, query: RPQ | str) -> dict:
+        """Describe how a query would be evaluated, without running it.
+
+        Returns a dict with the query shape, the automaton size, the
+        predicates the ``B`` table would hold, whether a §5 fast path
+        applies, and (for variable-to-variable queries) the anchor side
+        the §5 cardinality heuristic selects.
+        """
+        rpq = as_query(query)
+        shape = rpq.shape()
+        prepared = _Prepared(rpq.expr, self.index)
+        plan: dict = {
+            "query": str(rpq),
+            "shape": shape,
+            "nfa_states": prepared.automaton.num_states,
+            "nullable": prepared.automaton.nullable,
+            "b_predicates": sorted(
+                self.dictionary.predicate_label(p)
+                for p in prepared.b_masks
+            ),
+        }
+        if shape == "vc":
+            plan["strategy"] = "backward run of E from the object"
+        elif shape == "cv":
+            plan["strategy"] = "backward run of ^E from the subject"
+        elif shape == "cc":
+            plan["strategy"] = "backward run with early exit at the target"
+        else:
+            fast = self.fast_paths and self._describe_fast_path(rpq.expr)
+            if fast:
+                plan["strategy"] = fast
+            else:
+                side = (
+                    choose_anchor_side(
+                        prepared.automaton, self.dictionary, self.ring
+                    )
+                    if self.use_planner else "subject"
+                )
+                plan["anchor_side"] = side
+                plan["strategy"] = (
+                    "full-range pass binds the "
+                    f"{side} side, then one anchored run per binding"
+                )
+        return plan
+
+    def _describe_fast_path(self, expr: RegexNode) -> str | None:
+        if isinstance(expr, Symbol):
+            return "fast path: single-predicate listing (§5)"
+        if isinstance(expr, Union) and all(
+            isinstance(c, Symbol) for c in expr.children
+        ):
+            return "fast path: disjunction of single-predicate listings"
+        if (
+            isinstance(expr, Concat)
+            and len(expr.children) == 2
+            and all(isinstance(c, Symbol) for c in expr.children)
+        ):
+            return "fast path: length-2 path via range intersection (§5)"
+        return None
+
+    # ------------------------------------------------------------------
+    # Shape dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(
+        self,
+        rpq: RPQ,
+        budget: _Budget,
+        limit: int | None,
+        result: QueryResult,
+    ) -> None:
+        shape = rpq.shape()
+        if shape == "vc":
+            self._eval_anchored(rpq.expr, rpq.object, "object",
+                                budget, limit, result)
+        elif shape == "cv":
+            self._eval_anchored(rpq.expr.reverse(), rpq.subject, "subject",
+                                budget, limit, result)
+        elif shape == "cc":
+            self._eval_boolean(rpq, budget, result)
+        else:
+            self._eval_var_var(rpq, budget, limit, result)
+
+    # -- one fixed endpoint --------------------------------------------
+
+    def _eval_anchored(
+        self,
+        expr: RegexNode,
+        anchor_label: str,
+        anchor_role: str,
+        budget: _Budget,
+        limit: int | None,
+        result: QueryResult,
+    ) -> None:
+        """Backward run anchored at one constant node.
+
+        ``anchor_role`` says which side of the *original* query the
+        constant sits on, so reported nodes pair up correctly:
+        ``object`` means the run reports subjects (query ``(?x, E, o)``,
+        run on ``E``); ``subject`` means it reports objects (query
+        ``(s, E, ?y)``, run on ``^E`` anchored at ``s``).
+        """
+        dictionary = self.dictionary
+        if not dictionary.has_node(anchor_label):
+            return
+        anchor = dictionary.node_id(anchor_label)
+        if anchor in self._forbidden_ids:
+            return
+        prepared = self._prepare(expr, result.stats)
+
+        if prepared.automaton.nullable:
+            result.pairs.add((anchor_label, anchor_label))
+
+        remaining = None if limit is None else limit - len(result.pairs)
+        if remaining is not None and remaining <= 0:
+            result.stats.truncated = True
+            return
+
+        run = _BackwardRun(self, prepared, budget, result.stats, self.prune)
+        reported = run.run(
+            self.ring.object_range(anchor),
+            start_node=anchor,
+            max_reported=remaining,
+        )
+        result.stats.truncated = result.stats.truncated or run.stats.truncated
+        for node_id in reported:
+            label = dictionary.node_label(node_id)
+            if anchor_role == "object":
+                result.pairs.add((label, anchor_label))
+            else:
+                result.pairs.add((anchor_label, label))
+
+    # -- both endpoints fixed --------------------------------------------
+
+    def _eval_boolean(
+        self, rpq: RPQ, budget: _Budget, result: QueryResult
+    ) -> None:
+        """Both endpoints fixed: run from one side, early-exit at the
+        other.  §4.4 allows starting from either end ("or vice versa
+        with E"); the planner's cardinality rule picks the cheaper one
+        — anchoring the subject means running ``^E`` from it."""
+        dictionary = self.dictionary
+        if not (dictionary.has_node(rpq.subject)
+                and dictionary.has_node(rpq.object)):
+            return
+        subject = dictionary.node_id(rpq.subject)
+        obj = dictionary.node_id(rpq.object)
+        if subject in self._forbidden_ids or obj in self._forbidden_ids:
+            return
+        prepared = self._prepare(rpq.expr, result.stats)
+
+        if prepared.automaton.nullable and subject == obj:
+            result.pairs.add((rpq.subject, rpq.object))
+            return
+
+        anchor, target = obj, subject
+        if self.use_planner:
+            side = choose_anchor_side(
+                prepared.automaton, dictionary, self.ring
+            )
+            if side == "subject":
+                prepared = self._prepare(rpq.expr.reverse(), result.stats)
+                anchor, target = subject, obj
+
+        run = _BackwardRun(self, prepared, budget, result.stats, self.prune)
+        reported = run.run(
+            self.ring.object_range(anchor),
+            start_node=anchor,
+            target=target,
+        )
+        if target in reported:
+            result.pairs.add((rpq.subject, rpq.object))
+
+    # -- both endpoints variable -----------------------------------------
+
+    def _eval_var_var(
+        self,
+        rpq: RPQ,
+        budget: _Budget,
+        limit: int | None,
+        result: QueryResult,
+    ) -> None:
+        dictionary = self.dictionary
+        prepared = self._prepare(rpq.expr, result.stats)
+
+        if prepared.automaton.nullable:
+            for node_id in range(dictionary.num_nodes):
+                budget.tick()
+                if node_id in self._forbidden_ids:
+                    continue
+                label = dictionary.node_label(node_id)
+                result.pairs.add((label, label))
+                if limit is not None and len(result.pairs) >= limit:
+                    result.stats.truncated = True
+                    return
+
+        use_fast = self.fast_paths and not self._forbidden_ids
+        if use_fast and self._try_fast_path(
+            rpq.expr, budget, limit, result
+        ):
+            return
+
+        if self.use_planner:
+            side = choose_anchor_side(
+                prepared.automaton, dictionary, self.ring
+            )
+        else:
+            side = "subject"
+
+        if side == "subject":
+            first_expr, second_expr = rpq.expr, rpq.expr.reverse()
+        else:
+            first_expr, second_expr = rpq.expr.reverse(), rpq.expr
+
+        # Phase 1: one traversal from the full L_p range binds one side.
+        first_prepared = self._prepare(first_expr, result.stats)
+        run = _BackwardRun(
+            self, first_prepared, budget, result.stats, self.prune
+        )
+        bindings = run.run(
+            self.ring.full_range(), start_node=None, max_reported=limit
+        )
+
+        # Phase 2: one anchored run per binding, on the other automaton.
+        second_prepared = self._prepare(second_expr, result.stats)
+        for node_id in sorted(bindings):
+            budget.tick()
+            remaining = None if limit is None else limit - len(result.pairs)
+            if remaining is not None and remaining <= 0:
+                result.stats.truncated = True
+                return
+            sub_run = _BackwardRun(
+                self, second_prepared, budget, result.stats, self.prune
+            )
+            result.stats.subqueries += 1
+            partners = sub_run.run(
+                self.ring.object_range(node_id),
+                start_node=node_id,
+                max_reported=remaining,
+            )
+            anchor_label = dictionary.node_label(node_id)
+            for partner in partners:
+                partner_label = dictionary.node_label(partner)
+                if side == "subject":
+                    result.pairs.add((anchor_label, partner_label))
+                else:
+                    result.pairs.add((partner_label, anchor_label))
+
+    # ------------------------------------------------------------------
+    # §5 fast paths for short variable-to-variable patterns
+    # ------------------------------------------------------------------
+
+    def _try_fast_path(
+        self,
+        expr: RegexNode,
+        budget: _Budget,
+        limit: int | None,
+        result: QueryResult,
+    ) -> bool:
+        """Returns True when a special-case evaluation handled ``expr``."""
+        dictionary = self.dictionary
+
+        if isinstance(expr, Symbol):
+            pids = resolve_atom_to_predicates(expr, dictionary)
+            for pid in pids:
+                self._vv_single_predicate(pid, budget, limit, result)
+            return True
+
+        if isinstance(expr, Union) and all(
+            isinstance(c, Symbol) for c in expr.children
+        ):
+            pids: set[int] = set()
+            for child in expr.children:
+                pids.update(resolve_atom_to_predicates(child, dictionary))
+            for pid in sorted(pids):
+                if limit is not None and len(result.pairs) >= limit:
+                    result.stats.truncated = True
+                    return True
+                self._vv_single_predicate(pid, budget, limit, result)
+            return True
+
+        if (
+            isinstance(expr, Concat)
+            and len(expr.children) == 2
+            and all(isinstance(c, Symbol) for c in expr.children)
+        ):
+            first = resolve_atom_to_predicates(expr.children[0], dictionary)
+            second = resolve_atom_to_predicates(expr.children[1], dictionary)
+            if len(first) == 1 and len(second) == 1:
+                self._vv_two_predicates(
+                    next(iter(first)), next(iter(second)),
+                    budget, limit, result,
+                )
+                return True
+
+        return False
+
+    def _vv_single_predicate(
+        self,
+        pid: int,
+        budget: _Budget,
+        limit: int | None,
+        result: QueryResult,
+    ) -> None:
+        """All pairs of one predicate: subjects from ``L_s``, objects by
+        one backward-search step with the inverse predicate (§5)."""
+        ring = self.ring
+        dictionary = self.dictionary
+        inv = dictionary.inverse_predicate(pid)
+        b, e = ring.predicate_range(pid)
+        height = ring.L_s.height
+        for subject, _, _ in ring.L_s.range_distinct(b, e):
+            budget.tick()
+            subject_label = dictionary.node_label(subject)
+            ob, oe = ring.object_range(subject)
+            bs, es = ring.backward_step(ob, oe, inv)
+            result.stats.product_edges += 1
+            result.stats.storage_ops += 3 * height
+            for obj, _, _ in ring.L_s.range_distinct(bs, es):
+                result.pairs.add(
+                    (subject_label, dictionary.node_label(obj))
+                )
+                if limit is not None and len(result.pairs) >= limit:
+                    result.stats.truncated = True
+                    return
+
+    def _vv_two_predicates(
+        self,
+        p1: int,
+        p2: int,
+        budget: _Budget,
+        limit: int | None,
+        result: QueryResult,
+    ) -> None:
+        """All pairs of ``p1/p2``: intersect the mid-point candidates
+        (targets of ``p1`` vs sources of ``p2``) with the wavelet
+        intersection, then expand each mid-point with two backward
+        steps (§5)."""
+        ring = self.ring
+        dictionary = self.dictionary
+        inv1 = dictionary.inverse_predicate(p1)
+        inv2 = dictionary.inverse_predicate(p2)
+        r1 = ring.predicate_range(inv1)  # subjects here = targets of p1
+        r2 = ring.predicate_range(p2)    # subjects here = sources of p2
+        height = ring.L_s.height
+        for mid, _, _, _, _ in ring.L_s.range_intersect(*r1, *r2):
+            budget.tick()
+            result.stats.storage_ops += 4 * height
+            ob, oe = ring.object_range(mid)
+            sb, se = ring.backward_step(ob, oe, p1)
+            subjects = [
+                dictionary.node_label(s)
+                for s, _, _ in ring.L_s.range_distinct(sb, se)
+            ]
+            tb, te = ring.backward_step(ob, oe, inv2)
+            objects = [
+                dictionary.node_label(o)
+                for o, _, _ in ring.L_s.range_distinct(tb, te)
+            ]
+            result.stats.product_edges += len(subjects) + len(objects)
+            for s_label in subjects:
+                for o_label in objects:
+                    result.pairs.add((s_label, o_label))
+                    if limit is not None and len(result.pairs) >= limit:
+                        result.stats.truncated = True
+                        return
+
+    # ------------------------------------------------------------------
+
+    def _prepare(self, expr: RegexNode, stats: QueryStats) -> _Prepared:
+        prepared = _Prepared(expr, self.index)
+        stats.nfa_states = max(stats.nfa_states, prepared.automaton.num_states)
+        stats.b_entries = max(stats.b_entries, len(prepared.b_masks))
+        return prepared
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RingRPQEngine(prune={self.prune}, fast={self.fast_paths})"

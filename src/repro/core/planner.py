@@ -1,0 +1,66 @@
+"""Start-side selection for variable-to-variable queries (§5).
+
+For a query ``(?x, E, ?y)`` the engine first finds, with one traversal
+from the full ``L_p`` range, all the bindings of *one* side, and then
+launches one anchored subquery per binding.  Which side to anchor
+matters: §5 settles on *"we choose to start from the end whose
+predicate has the smallest cardinality"* (and always starts from
+``p1`` for ``p1/p2*``-shaped queries, which the same rule implies
+whenever ``p1`` is not the rarer label anyway).
+
+The cardinality of a side is estimated as the number of graph edges
+matching the atoms adjacent to that side: the *first* atoms of ``E``
+for the subject side, the *last* atoms for the object side — both read
+off the Glushkov automaton, with edge counts taken from the ring's
+``C_p`` boundaries at zero extra cost.
+"""
+
+from __future__ import annotations
+
+from repro._util.bits import iter_set_bits
+from repro.automata.glushkov import (
+    GlushkovAutomaton,
+    resolve_atom_to_predicates,
+)
+from repro.ring.ring import Ring
+
+
+def side_cardinality(
+    automaton: GlushkovAutomaton,
+    positions_mask: int,
+    dictionary,
+    ring: Ring,
+) -> int:
+    """Total edges matching the atoms at the given position bitset."""
+    total = 0
+    seen: set[int] = set()
+    for position in iter_set_bits(positions_mask):
+        if position == 0:
+            continue  # the initial state carries no atom
+        atom = automaton.atoms[position - 1]
+        for pid in resolve_atom_to_predicates(atom, dictionary):
+            if pid not in seen:
+                seen.add(pid)
+                total += ring.predicate_count(pid)
+    return total
+
+
+def choose_anchor_side(
+    automaton: GlushkovAutomaton,
+    dictionary,
+    ring: Ring,
+) -> str:
+    """``"subject"`` or ``"object"``: which end to bind first (§5).
+
+    Anchoring the subject side means: find all subjects with one
+    full-range backward pass of ``E``, then run one ``(s, E, ?y)``
+    subquery per subject.  Anchoring the object side is symmetric,
+    with ``^E``.
+    """
+    subject_cost = side_cardinality(
+        automaton, automaton.first_mask, dictionary, ring
+    )
+    object_cost = side_cardinality(
+        automaton, automaton.last_mask, dictionary, ring
+    )
+    return "subject" if subject_cost <= object_cost else "object"

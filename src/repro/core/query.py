@@ -1,0 +1,119 @@
+"""Regular path queries as values.
+
+An RPQ is a triple ``(s, E, o)`` where ``s`` and ``o`` are constants
+(node labels) or variables and ``E`` is a path regular expression
+(§3.1).  The textual form accepted by :meth:`RPQ.parse` is::
+
+    (?x, l5+/bus, Baq)      # variable-to-constant
+    (Baq, ^bus/l5*, ?y)     # constant-to-variable
+    (?x, p1/p2*, ?y)        # variable-to-variable
+    (SA, l2|l5, LH)         # boolean (both ends fixed)
+
+Variables start with ``?``; everything else is a node constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.parser import parse_regex
+from repro.automata.syntax import RegexNode
+from repro.errors import RegexSyntaxError
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A query variable, e.g. ``?x``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+Endpoint = Variable | str
+
+
+def _parse_endpoint(token: str) -> Endpoint:
+    token = token.strip()
+    if not token:
+        raise RegexSyntaxError("empty query endpoint")
+    if token.startswith("?"):
+        if len(token) == 1:
+            raise RegexSyntaxError("variable needs a name after '?'")
+        return Variable(token[1:])
+    if token.startswith("<") and token.endswith(">"):
+        return token[1:-1]
+    return token
+
+
+@dataclass(frozen=True)
+class RPQ:
+    """A regular path query ``(subject, expr, object)``."""
+
+    subject: Endpoint
+    expr: RegexNode
+    object: Endpoint
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def of(cls, subject: str, expr: RegexNode | str, object: str) -> "RPQ":
+        """Build from endpoint tokens and an expression (AST or text)."""
+        if isinstance(expr, str):
+            expr = parse_regex(expr)
+        return cls(_parse_endpoint(subject), expr, _parse_endpoint(object))
+
+    @classmethod
+    def parse(cls, text: str) -> "RPQ":
+        """Parse the textual ``(s, E, o)`` form."""
+        stripped = text.strip()
+        if stripped.startswith("(") and stripped.endswith(")"):
+            stripped = stripped[1:-1]
+        parts = stripped.split(",")
+        if len(parts) != 3:
+            raise RegexSyntaxError(
+                f"query must have three comma-separated parts: {text!r}"
+            )
+        return cls.of(parts[0].strip(), parts[1].strip(), parts[2].strip())
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+
+    @property
+    def subject_is_var(self) -> bool:
+        """True when the subject endpoint is a variable."""
+        return isinstance(self.subject, Variable)
+
+    @property
+    def object_is_var(self) -> bool:
+        """True when the object endpoint is a variable."""
+        return isinstance(self.object, Variable)
+
+    def shape(self) -> str:
+        """One of ``"vv"``, ``"vc"``, ``"cv"``, ``"cc"``.
+
+        First letter describes the subject, second the object; the
+        paper's "c-to-v" bucket is our ``cv`` and ``vc`` shapes (one
+        fixed end) and "v-to-v" is ``vv``.
+        """
+        return ("v" if self.subject_is_var else "c") + (
+            "v" if self.object_is_var else "c"
+        )
+
+    def reversed(self) -> "RPQ":
+        """The equivalent query ``(o, ^E, s)`` (§4.4)."""
+        return RPQ(self.object, self.expr.reverse(), self.subject)
+
+    def __str__(self) -> str:
+        return f"({self.subject}, {self.expr}, {self.object})"
+
+
+def as_query(query: "RPQ | str") -> RPQ:
+    """Coerce a query argument: strings are parsed, RPQs pass through."""
+    if isinstance(query, RPQ):
+        return query
+    return RPQ.parse(query)

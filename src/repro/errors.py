@@ -1,0 +1,76 @@
+"""Exception hierarchy for the Ring-RPQ reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause, while
+still being able to distinguish the failure class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class RegexSyntaxError(ReproError):
+    """The regular-expression string could not be parsed.
+
+    Attributes
+    ----------
+    position:
+        Zero-based character offset of the offending token, or ``None``
+        when the error is not tied to a single position (e.g. an
+        unexpected end of input).
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class UnknownSymbolError(ReproError):
+    """A query referenced a node or predicate absent from the dictionary."""
+
+    def __init__(self, kind: str, symbol: object):
+        super().__init__(f"unknown {kind}: {symbol!r}")
+        self.kind = kind
+        self.symbol = symbol
+
+
+class QueryTimeoutError(ReproError):
+    """Query evaluation exceeded its wall-clock budget."""
+
+    def __init__(self, elapsed: float, budget: float):
+        super().__init__(
+            f"query timed out after {elapsed:.3f}s (budget {budget:.3f}s)"
+        )
+        self.elapsed = elapsed
+        self.budget = budget
+
+
+class ResultLimitExceeded(ReproError):
+    """Query produced more results than the configured cap.
+
+    The paper caps result sets at one million mappings for comparability
+    with Virtuoso's hard-coded :math:`2^{20}` limit; engines in this
+    library raise (or truncate, depending on configuration) through this
+    error type.
+    """
+
+    def __init__(self, limit: int):
+        super().__init__(f"result limit of {limit} rows exceeded")
+        self.limit = limit
+
+
+class ConstructionError(ReproError):
+    """An index or automaton could not be built from the given input."""
+
+
+class InvariantViolation(ReproError):
+    """An internal data-structure invariant failed.
+
+    These indicate a bug in the library (or memory corruption), never a
+    user mistake; they are raised by the optional self-check routines.
+    """

@@ -1,0 +1,14 @@
+"""Labeled-graph model, dataset loaders and synthetic generators."""
+
+from repro.graph.datasets import santiago_transport
+from repro.graph.generators import random_graph, wikidata_like
+from repro.graph.model import Graph, inverse_label, is_inverse_label
+
+__all__ = [
+    "Graph",
+    "inverse_label",
+    "is_inverse_label",
+    "random_graph",
+    "santiago_transport",
+    "wikidata_like",
+]

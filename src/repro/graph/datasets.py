@@ -1,0 +1,60 @@
+"""Built-in example datasets.
+
+:func:`santiago_transport` reconstructs the running example of the
+paper (Fig. 1): five stations of the Santiago transport network with
+three bidirectional metro lines and a directed bus loop.  The edge set
+is reverse-engineered from the paper's Fig. 3 ring (16 completed
+triples) and the Fig. 6 traversal trace, and the tests in
+``tests/test_paper_examples.py`` assert that the ring built on it
+matches the paper's published arrays position by position.
+"""
+
+from __future__ import annotations
+
+from repro.graph.model import Graph
+
+#: Node order used by the paper's Fig. 3 (ids 1..5 there, 0..4 here).
+SANTIAGO_NODE_ORDER = ("SA", "UCh", "LH", "BA", "Baq")
+
+#: Predicate order used by the paper's Fig. 3 (l1, l2, l5, bus, ^bus).
+SANTIAGO_PREDICATE_ORDER = ("l1", "l2", "l5", "bus", "^bus")
+
+#: Full station names for presentation purposes.
+SANTIAGO_STATION_NAMES = {
+    "SA": "Santa Ana",
+    "UCh": "Universidad de Chile",
+    "LH": "Los Héroes",
+    "BA": "Bellas Artes",
+    "Baq": "Baquedano",
+}
+
+
+def santiago_transport() -> Graph:
+    """The paper's Fig. 1 graph.
+
+    Metro lines (``l1``, ``l2``, ``l5``) are symmetric: both directions
+    are stored explicitly under the same label.  Bus edges are directed;
+    completion will add their ``^bus`` twins, yielding the 16 triples of
+    Fig. 3.
+    """
+    metro = [
+        # Line 1: Los Héroes — U. de Chile — Baquedano
+        ("LH", "l1", "UCh"),
+        ("UCh", "l1", "LH"),
+        ("UCh", "l1", "Baq"),
+        ("Baq", "l1", "UCh"),
+        # Line 2: Los Héroes — Santa Ana
+        ("LH", "l2", "SA"),
+        ("SA", "l2", "LH"),
+        # Line 5: Santa Ana — Bellas Artes — Baquedano
+        ("SA", "l5", "BA"),
+        ("BA", "l5", "SA"),
+        ("BA", "l5", "Baq"),
+        ("Baq", "l5", "BA"),
+    ]
+    bus = [
+        ("BA", "bus", "SA"),
+        ("SA", "bus", "UCh"),
+        ("UCh", "bus", "BA"),
+    ]
+    return Graph(metro + bus, symmetric_predicates=("l1", "l2", "l5"))

@@ -1,0 +1,67 @@
+"""Reading and writing graphs as whitespace-separated triple files.
+
+The format is a pragmatic subset of N-Triples: one edge per line,
+``subject predicate object``, tokens separated by whitespace.  Tokens
+may be bare words or ``<...>`` IRIs (angle brackets are stripped).
+Lines that are empty or start with ``#`` are ignored.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.errors import ConstructionError
+from repro.graph.model import Graph, Triple
+
+
+def _clean_token(token: str) -> str:
+    if token.startswith("<") and token.endswith(">"):
+        return token[1:-1]
+    return token
+
+
+def parse_triples(lines: Iterable[str]) -> Iterator[Triple]:
+    """Parse triples from an iterable of text lines.
+
+    Raises :class:`~repro.errors.ConstructionError` on malformed lines.
+    """
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.endswith(" ."):
+            line = line[:-2]
+        parts = line.split()
+        if len(parts) != 3:
+            raise ConstructionError(
+                f"line {lineno}: expected 3 tokens, got {len(parts)}: {raw!r}"
+            )
+        s, p, o = (_clean_token(t) for t in parts)
+        yield (s, p, o)
+
+
+def load_graph(path: str | Path,
+               symmetric_predicates: Iterable[str] = ()) -> Graph:
+    """Load a graph from a triple file."""
+    with open(path, encoding="utf-8") as handle:
+        return Graph(parse_triples(handle), symmetric_predicates)
+
+
+def loads_graph(text: str,
+                symmetric_predicates: Iterable[str] = ()) -> Graph:
+    """Load a graph from a triple string (tests / docstrings)."""
+    return Graph(parse_triples(io.StringIO(text)), symmetric_predicates)
+
+
+def save_graph(graph: Graph, path: str | Path) -> None:
+    """Write a graph as one ``s p o`` line per edge."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for s, p, o in graph:
+            handle.write(f"{s} {p} {o}\n")
+
+
+def dumps_graph(graph: Graph) -> str:
+    """Serialise a graph to the triple-line format."""
+    return "".join(f"{s} {p} {o}\n" for s, p, o in graph)

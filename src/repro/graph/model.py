@@ -1,0 +1,153 @@
+"""Directed edge-labeled graph model.
+
+A graph is a finite set of triples ``(subject, predicate, object)``
+over hashable labels (normally strings); see §3.1 of the paper.  The
+*completion* :math:`G^{\\leftrightarrow}` adds, for every edge
+``(s, p, o)``, the reversed edge ``(o, ^p, s)`` where ``^p`` is the
+inverse label of ``p``.  Inverse labels are spelled with a ``^``
+prefix, and ``^^p`` normalises back to ``p``.
+
+The classes here hold the *string-labeled* view used by applications
+and the baselines; the ring operates on the integer-encoded view
+produced by :class:`repro.ring.dictionary.Dictionary`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator
+
+Triple = tuple[str, str, str]
+
+INVERSE_PREFIX = "^"
+
+
+def inverse_label(predicate: str) -> str:
+    """The inverse of a predicate label: ``p -> ^p`` and ``^p -> p``."""
+    if predicate.startswith(INVERSE_PREFIX):
+        return predicate[len(INVERSE_PREFIX):]
+    return INVERSE_PREFIX + predicate
+
+
+def is_inverse_label(predicate: str) -> bool:
+    """True when the label is an inverse (``^``-prefixed) predicate."""
+    return predicate.startswith(INVERSE_PREFIX)
+
+
+class Graph:
+    """An immutable set of labeled edges with adjacency helpers.
+
+    Parameters
+    ----------
+    triples:
+        Iterable of ``(subject, predicate, object)`` tuples.  Duplicates
+        are removed; iteration order is deterministic (sorted).
+    symmetric_predicates:
+        Labels whose edges mean the same thing in both directions (like
+        the metro lines of the paper's Fig. 1).  Completion does not
+        invent ``^p`` labels for these; it adds the reversed edge under
+        the *same* label instead.
+    """
+
+    def __init__(
+        self,
+        triples: Iterable[Triple] = (),
+        symmetric_predicates: Iterable[str] = (),
+    ):
+        self._triples: tuple[Triple, ...] = tuple(sorted(set(triples)))
+        self.symmetric_predicates = frozenset(symmetric_predicates)
+        self._out: dict[str, list[tuple[str, str]]] | None = None
+        self._in: dict[str, list[tuple[str, str]]] | None = None
+
+    # ------------------------------------------------------------------
+    # Basic facts
+    # ------------------------------------------------------------------
+
+    @property
+    def triples(self) -> tuple[Triple, ...]:
+        """All edges, deterministically ordered."""
+        return self._triples
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triple_set()
+
+    def _triple_set(self) -> frozenset[Triple]:
+        if not hasattr(self, "_cached_set"):
+            self._cached_set = frozenset(self._triples)
+        return self._cached_set
+
+    @property
+    def nodes(self) -> list[str]:
+        """Sorted list of all subjects and objects."""
+        seen = {s for s, _, _ in self._triples}
+        seen.update(o for _, _, o in self._triples)
+        return sorted(seen)
+
+    @property
+    def predicates(self) -> list[str]:
+        """Sorted list of all edge labels."""
+        return sorted({p for _, p, _ in self._triples})
+
+    # ------------------------------------------------------------------
+    # Adjacency (built lazily, cached)
+    # ------------------------------------------------------------------
+
+    def out_edges(self, node: str) -> list[tuple[str, str]]:
+        """Outgoing ``(predicate, object)`` pairs of ``node``."""
+        if self._out is None:
+            out = defaultdict(list)
+            for s, p, o in self._triples:
+                out[s].append((p, o))
+            self._out = dict(out)
+        return self._out.get(node, [])
+
+    def in_edges(self, node: str) -> list[tuple[str, str]]:
+        """Incoming ``(predicate, subject)`` pairs of ``node``."""
+        if self._in is None:
+            incoming = defaultdict(list)
+            for s, p, o in self._triples:
+                incoming[o].append((p, s))
+            self._in = dict(incoming)
+        return self._in.get(node, [])
+
+    def edges_with_predicate(self, predicate: str) -> list[tuple[str, str]]:
+        """All ``(subject, object)`` pairs connected by ``predicate``."""
+        return [(s, o) for s, p, o in self._triples if p == predicate]
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+
+    def completion(self) -> "Graph":
+        """The two-way graph :math:`G^{\\leftrightarrow}`.
+
+        Every edge ``(s, p, o)`` is joined by ``(o, ^p, s)`` — except for
+        symmetric predicates, which gain ``(o, p, s)`` under the same
+        label (matching the paper's Fig. 3, where the metro lines are
+        stored bidirectionally and only ``bus`` grows a ``^bus`` twin).
+        """
+        completed: set[Triple] = set(self._triples)
+        for s, p, o in self._triples:
+            if p in self.symmetric_predicates:
+                completed.add((o, p, s))
+            else:
+                completed.add((o, inverse_label(p), s))
+        return Graph(completed, self.symmetric_predicates)
+
+    def is_completed(self) -> bool:
+        """True when the graph already equals its own completion."""
+        return set(self.completion()) == set(self._triples)
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Graph(|edges|={len(self._triples)}, "
+            f"|nodes|={len(self.nodes)}, |preds|={len(self.predicates)})"
+        )

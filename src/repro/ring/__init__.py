@@ -1,0 +1,19 @@
+"""The ring: a BWT-based, wavelet-indexed representation of a triple set.
+
+This subpackage implements §3.4 of the paper: the three BWT columns of
+the triple set, their wavelet-matrix indexes, the per-column ``C``
+boundary arrays, LF-steps and range backward search (Eqs. 3–5).
+
+* :class:`~repro.ring.dictionary.Dictionary` — string↔integer encoding
+  of nodes and predicates, including the inverse-predicate mapping used
+  by two-way RPQs;
+* :class:`~repro.ring.ring.Ring` — the integer-level index;
+* :class:`~repro.ring.builder.RingIndex` — the user-facing bundle of a
+  dictionary plus a ring built from a string-labeled graph.
+"""
+
+from repro.ring.builder import RingIndex
+from repro.ring.dictionary import Dictionary
+from repro.ring.ring import Ring
+
+__all__ = ["Dictionary", "Ring", "RingIndex"]

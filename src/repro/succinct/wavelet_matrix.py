@@ -1,0 +1,516 @@
+"""Wavelet matrix: a wavelet tree layout for large alphabets.
+
+The ring represents its BWT columns ``L_s`` and ``L_p`` with wavelet
+matrices (Claude, Navarro & Ordóñez 2015), exactly as the paper's C++
+implementation does.  Besides the classical ``access``/``rank``/``select``
+operations, this implementation exposes the *virtual node* interface the
+Ring-RPQ engine needs:
+
+* :meth:`WaveletMatrix.root` / :meth:`WaveletMatrix.children` let a
+  caller walk the conceptual wavelet tree restricted to a position range
+  ``[b, e)``, pruning subtrees at will — the engine prunes with its
+  ``B[v]`` and ``D[v]`` automaton masks (paper §4.1–§4.2);
+* :meth:`WaveletMatrix.range_distinct` enumerates the distinct symbols
+  in a range in :math:`O(\\log\\sigma)` time per reported symbol;
+* :meth:`WaveletMatrix.range_intersect` intersects the symbol sets of
+  two ranges (used by the §5 fast path for length-2 paths).
+
+Every conceptual node is identified by ``(level, prefix)`` where
+``prefix`` is the top ``level`` bits of the symbols below it; this id is
+hashable, so per-node annotations live in plain dicts, which gives the
+lazy initialisation the paper performs explicitly in C++.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+import numpy as np
+
+from repro.errors import ConstructionError
+from repro.succinct.bitvector import BitVector
+
+
+def _bit_reverse(value: int, width: int) -> int:
+    """Reverse the low ``width`` bits of ``value``."""
+    out = 0
+    for _ in range(width):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out
+
+
+class WaveletNode:
+    """A conceptual wavelet tree node restricted to a query range.
+
+    A plain ``__slots__`` value type (not a dataclass): the RPQ engine
+    creates millions of these in its inner loop.
+
+    Attributes
+    ----------
+    level:
+        Depth; 0 is the root, ``matrix.height`` is a leaf.
+    prefix:
+        The top ``level`` bits shared by all symbols below this node.
+    begin, end:
+        Half-open position range of the query's occurrences inside this
+        node's interval of the level-``level`` sequence.
+    """
+
+    __slots__ = ("level", "prefix", "begin", "end")
+
+    def __init__(self, level: int, prefix: int, begin: int, end: int):
+        self.level = level
+        self.prefix = prefix
+        self.begin = begin
+        self.end = end
+
+    @property
+    def node_id(self) -> tuple[int, int]:
+        """Hashable identity of the conceptual node (ignores the range)."""
+        return (self.level, self.prefix)
+
+    def __len__(self) -> int:
+        return self.end - self.begin
+
+    def is_empty(self) -> bool:
+        """True when the query range has no occurrence below this node."""
+        return self.end <= self.begin
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WaveletNode):
+            return NotImplemented
+        return (self.level, self.prefix, self.begin, self.end) == (
+            other.level, other.prefix, other.begin, other.end
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.level, self.prefix, self.begin, self.end))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WaveletNode(level={self.level}, prefix={self.prefix}, "
+            f"range=[{self.begin}, {self.end}))"
+        )
+
+
+class WaveletMatrix:
+    """Immutable sequence over ``[0, sigma)`` with wavelet-matrix indexing.
+
+    Parameters
+    ----------
+    values:
+        The sequence, as any iterable of non-negative ints.
+    sigma:
+        Alphabet size; defaults to ``max(values) + 1``.
+    """
+
+    __slots__ = ("_n", "_sigma", "_height", "_levels", "_zeros",
+                 "_counts", "_bottom_start", "_class_cum")
+
+    def __init__(self, values: Iterable[int] | np.ndarray, sigma: int | None = None):
+        seq = np.asarray(
+            values if isinstance(values, np.ndarray) else list(values),
+            dtype=np.int64,
+        )
+        if seq.size and seq.min() < 0:
+            raise ConstructionError("wavelet matrix stores non-negative ints")
+        if sigma is None:
+            sigma = int(seq.max()) + 1 if seq.size else 1
+        if seq.size and int(seq.max()) >= sigma:
+            raise ConstructionError(
+                f"value {int(seq.max())} outside alphabet [0, {sigma})"
+            )
+        if sigma < 1:
+            raise ConstructionError("alphabet size must be at least 1")
+        self._n = int(seq.size)
+        self._sigma = int(sigma)
+        self._height = max(1, (self._sigma - 1).bit_length())
+
+        levels: list[BitVector] = []
+        zeros: list[int] = []
+        current = seq
+        for level in range(self._height):
+            shift = self._height - 1 - level
+            bits = ((current >> shift) & 1).astype(np.uint8)
+            bv = BitVector(bits)
+            levels.append(bv)
+            zeros.append(bv.num_zeros)
+            # Stable partition: zero-bit symbols first, one-bit after.
+            current = np.concatenate((current[bits == 0], current[bits == 1]))
+        self._levels = levels
+        self._zeros = zeros
+
+        counts = np.zeros(self._sigma, dtype=np.int64)
+        if seq.size:
+            binc = np.bincount(seq, minlength=self._sigma)
+            counts[: len(binc)] = binc
+        self._counts = counts
+        # Numeric-order cumulative counts; used to answer "how many
+        # sequence positions fall under conceptual node v" in O(1).
+        class_cum = np.zeros(self._sigma + 1, dtype=np.int64)
+        np.cumsum(counts, out=class_cum[1:])
+        self._class_cum = class_cum
+        # Start offset of each symbol's run in the (conceptual) bottom
+        # sequence.  The matrix partitions by MSB first and LSB last, so
+        # the bottom orders symbols by their *bit-reversed* value.
+        bottom_start = np.zeros(self._sigma, dtype=np.int64)
+        order = sorted(
+            range(self._sigma), key=lambda c: _bit_reverse(c, self._height)
+        )
+        acc = 0
+        for c in order:
+            bottom_start[c] = acc
+            acc += int(counts[c])
+        self._bottom_start = bottom_start
+
+    # ------------------------------------------------------------------
+    # Basic facts
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def sigma(self) -> int:
+        """Alphabet size."""
+        return self._sigma
+
+    @property
+    def height(self) -> int:
+        """Number of levels, ``ceil(log2(sigma))`` (at least 1)."""
+        return self._height
+
+    def count(self, symbol: int) -> int:
+        """Total occurrences of ``symbol`` in the sequence."""
+        self._check_symbol(symbol)
+        return int(self._counts[symbol])
+
+    # ------------------------------------------------------------------
+    # access / rank / select
+    # ------------------------------------------------------------------
+
+    def access(self, i: int) -> int:
+        """The symbol at position ``i``; O(log sigma)."""
+        if not 0 <= i < self._n:
+            raise IndexError(f"position {i} out of range [0, {self._n})")
+        symbol = 0
+        for level in range(self._height):
+            bv = self._levels[level]
+            bit = bv[i]
+            symbol = (symbol << 1) | bit
+            if bit:
+                i = self._zeros[level] + bv.rank1(i)
+            else:
+                i = bv.rank0(i)
+        return symbol
+
+    def __getitem__(self, i: int) -> int:
+        if i < 0:
+            i += self._n
+        return self.access(i)
+
+    def rank(self, symbol: int, i: int) -> int:
+        """Occurrences of ``symbol`` in positions ``[0, i)``; O(log sigma)."""
+        self._check_symbol(symbol)
+        if i <= 0:
+            return 0
+        i = min(i, self._n)
+        pos = self._walk_down(symbol, i)
+        return pos - int(self._bottom_start[symbol])
+
+    def rank_pair(self, symbol: int, b: int, e: int) -> tuple[int, int]:
+        """``(rank(symbol, b), rank(symbol, e))`` sharing the path walk."""
+        self._check_symbol(symbol)
+        b = max(0, min(b, self._n))
+        e = max(0, min(e, self._n))
+        start = int(self._bottom_start[symbol])
+        for level in range(self._height):
+            bv = self._levels[level]
+            bit = (symbol >> (self._height - 1 - level)) & 1
+            if bit:
+                z = self._zeros[level]
+                b = z + bv.rank1(b)
+                e = z + bv.rank1(e)
+            else:
+                b = bv.rank0(b)
+                e = bv.rank0(e)
+        return b - start, e - start
+
+    def select(self, symbol: int, j: int) -> int:
+        """Position of the ``j``-th (0-based) occurrence of ``symbol``."""
+        self._check_symbol(symbol)
+        if j < 0 or j >= self._counts[symbol]:
+            raise IndexError(
+                f"select({symbol}, {j}): only {int(self._counts[symbol])} "
+                "occurrences"
+            )
+        # Walk up from the bottom occurrence back to the top level.
+        pos = int(self._bottom_start[symbol]) + j
+        for level in range(self._height - 1, -1, -1):
+            bv = self._levels[level]
+            bit = (symbol >> (self._height - 1 - level)) & 1
+            if bit:
+                pos = bv.select1(pos - self._zeros[level])
+            else:
+                pos = bv.select0(pos)
+        return pos
+
+    def to_list(self) -> list[int]:
+        """Decode the full sequence (slow; for tests and small data)."""
+        return [self.access(i) for i in range(self._n)]
+
+    # ------------------------------------------------------------------
+    # Virtual-node traversal API (used by the Ring-RPQ engine)
+    # ------------------------------------------------------------------
+
+    def root(self, b: int = 0, e: int | None = None) -> WaveletNode:
+        """The root node restricted to range ``[b, e)`` of the sequence."""
+        if e is None:
+            e = self._n
+        b = max(0, min(b, self._n))
+        e = max(0, min(e, self._n))
+        return WaveletNode(level=0, prefix=0, begin=b, end=e)
+
+    def is_leaf(self, node: WaveletNode) -> bool:
+        """True when ``node`` sits at the bottom level (one symbol)."""
+        return node.level == self._height
+
+    def leaf_symbol(self, node: WaveletNode) -> int:
+        """The single symbol represented by a leaf node."""
+        if not self.is_leaf(node):
+            raise ValueError("leaf_symbol() called on an internal node")
+        return node.prefix
+
+    def node_symbol_range(self, node: WaveletNode) -> tuple[int, int]:
+        """Half-open symbol interval ``[lo, hi)`` covered by ``node``.
+
+        ``hi`` may exceed ``sigma`` for the rightmost nodes when sigma
+        is not a power of two; such symbols simply never occur.
+        """
+        span = 1 << (self._height - node.level)
+        lo = node.prefix << (self._height - node.level)
+        return lo, lo + span
+
+    def traversal_data(self) -> tuple:
+        """Low-level arrays for external high-performance walkers.
+
+        Returns ``(levels, zeros, height, sigma, class_cum,
+        bottom_start)`` where ``levels[l]`` is ``(words, cum, n_bits)``
+        with ``words``/``cum`` as plain Python-int lists (the bitvector
+        rank fast path).  The RPQ engine's inner loops use this instead
+        of the object-based node API: the traversal logic is identical,
+        but skipping per-node object construction and method dispatch
+        is worth ~2x under CPython.  Treat the arrays as read-only.
+        """
+        levels = [
+            (bv._words_py, bv._cum_py, len(bv)) for bv in self._levels
+        ]
+        return (
+            levels,
+            list(self._zeros),
+            self._height,
+            self._sigma,
+            self._class_cum.tolist(),
+            self._bottom_start.tolist(),
+        )
+
+    def node_occurrences(self, node: WaveletNode) -> int:
+        """Total sequence positions under conceptual node ``node``.
+
+        When this equals ``len(node)`` the query range *covers* the
+        node: every occurrence of every symbol below it lies inside the
+        range.  The RPQ engine may only record its ``D[v]`` visited
+        masks on covered nodes — recording on a partially covered node
+        would claim visits to subjects the traversal never reached.
+        """
+        lo, hi = self.node_symbol_range(node)
+        hi = min(hi, self._sigma)
+        if lo >= hi:
+            return 0
+        return int(self._class_cum[hi] - self._class_cum[lo])
+
+    def children(self, node: WaveletNode) -> tuple[WaveletNode, WaveletNode]:
+        """Left and right child nodes with mapped ranges.
+
+        Either child may be empty (``is_empty()``); callers typically
+        skip those.  Calling this on a leaf is an error.
+        """
+        if self.is_leaf(node):
+            raise ValueError("children() called on a leaf node")
+        bv = self._levels[node.level]
+        b0 = bv.rank0(node.begin)
+        e0 = bv.rank0(node.end)
+        z = self._zeros[node.level]
+        b1 = z + (node.begin - b0)
+        e1 = z + (node.end - e0)
+        left = WaveletNode(node.level + 1, node.prefix << 1, b0, e0)
+        right = WaveletNode(node.level + 1, (node.prefix << 1) | 1, b1, e1)
+        return left, right
+
+    def leaf_global_range(self, node: WaveletNode) -> tuple[int, int]:
+        """Rank interval of a leaf: occurrences of its symbol before the
+        query range's start and end, as ``(rank_b, rank_e)``.
+
+        For a leaf reached from root range ``[b, e)`` this equals
+        ``(rank(c, b), rank(c, e))`` — exactly what a backward-search
+        step (Eqs. 4–5 of the paper) needs, obtained without re-walking.
+        """
+        if not self.is_leaf(node):
+            raise ValueError("leaf_global_range() called on an internal node")
+        start = int(self._bottom_start[node.prefix])
+        return node.begin - start, node.end - start
+
+    # ------------------------------------------------------------------
+    # Range algorithms built on the node API
+    # ------------------------------------------------------------------
+
+    def range_distinct(self, b: int, e: int) -> Iterator[tuple[int, int, int]]:
+        """Yield ``(symbol, rank_b, rank_e)`` for each distinct symbol in
+        ``[b, e)``, in increasing symbol order.
+
+        ``rank_e - rank_b`` is the symbol's multiplicity in the range.
+        Runs in O(log sigma) per reported symbol.
+        """
+        stack = [self.root(b, e)]
+        out: list[tuple[int, int, int]] = []
+        while stack:
+            node = stack.pop()
+            if node.is_empty():
+                continue
+            if self.is_leaf(node):
+                if node.prefix < self._sigma:
+                    rb, re = self.leaf_global_range(node)
+                    out.append((node.prefix, rb, re))
+                continue
+            left, right = self.children(node)
+            stack.append(right)
+            stack.append(left)
+        # DFS pushed right after left then popped LIFO; ensure symbol order.
+        out.sort(key=lambda t: t[0])
+        yield from out
+
+    def range_list_symbols(self, b: int, e: int) -> list[int]:
+        """Distinct symbols occurring in ``[b, e)``, ascending."""
+        return [sym for sym, _, _ in self.range_distinct(b, e)]
+
+    def range_intersect(
+        self, b1: int, e1: int, b2: int, e2: int
+    ) -> list[tuple[int, int, int, int, int]]:
+        """Symbols occurring in *both* ranges.
+
+        Returns tuples ``(symbol, rank1_b, rank1_e, rank2_b, rank2_e)``
+        in ascending symbol order; runs in O(log sigma) per node of the
+        intersected traversal (Gagie, Navarro & Puglisi 2012).
+        """
+        results: list[tuple[int, int, int, int, int]] = []
+        stack = [
+            (
+                WaveletNode(0, 0, max(0, b1), min(e1, self._n)),
+                WaveletNode(0, 0, max(0, b2), min(e2, self._n)),
+            )
+        ]
+        while stack:
+            n1, n2 = stack.pop()
+            if n1.is_empty() or n2.is_empty():
+                continue
+            if self.is_leaf(n1):
+                if n1.prefix < self._sigma:
+                    r1b, r1e = self.leaf_global_range(n1)
+                    r2b, r2e = self.leaf_global_range(n2)
+                    results.append((n1.prefix, r1b, r1e, r2b, r2e))
+                continue
+            l1, r1 = self.children(n1)
+            l2, r2 = self.children(n2)
+            stack.append((r1, r2))
+            stack.append((l1, l2))
+        results.sort(key=lambda t: t[0])
+        return results
+
+    def range_count_distinct(self, b: int, e: int) -> int:
+        """Number of distinct symbols in ``[b, e)``.
+
+        The §6 selectivity statistic ("the amount of distinct
+        predicates labeling edges towards a given range of objects").
+        This is the exact traversal count, O(log σ) per distinct
+        symbol; the paper sketches an O(log) *total* variant at roughly
+        double the space (colored range counting), which this library
+        does not implement.
+        """
+        count = 0
+        stack = [self.root(b, e)]
+        while stack:
+            node = stack.pop()
+            if node.is_empty():
+                continue
+            if self.is_leaf(node):
+                if node.prefix < self._sigma:
+                    count += 1
+                continue
+            left, right = self.children(node)
+            stack.append(left)
+            stack.append(right)
+        return count
+
+    def range_next_value(self, b: int, e: int, lower: int) -> int | None:
+        """Smallest symbol ``>= lower`` occurring in ``[b, e)``.
+
+        Used by the Leapfrog-style seek extension (§6 of the paper).
+        Returns ``None`` when no such symbol exists.
+        """
+        if lower >= self._sigma or b >= e:
+            return None
+        lower = max(lower, 0)
+        return self._next_value(self.root(b, e), lower)
+
+    def _next_value(self, node: WaveletNode, lower: int) -> int | None:
+        if node.is_empty():
+            return None
+        lo, hi = self.node_symbol_range(node)
+        if hi <= lower:
+            return None
+        if self.is_leaf(node):
+            return node.prefix if node.prefix < self._sigma else None
+        left, right = self.children(node)
+        found = self._next_value(left, lower)
+        if found is not None:
+            return found
+        return self._next_value(right, lower)
+
+    # ------------------------------------------------------------------
+    # Space accounting
+    # ------------------------------------------------------------------
+
+    def size_in_bits(self) -> int:
+        """Actually allocated bits: level bitvectors + per-symbol tables."""
+        total = sum(bv.size_in_bits() for bv in self._levels)
+        total += self._counts.nbytes * 8 + self._bottom_start.nbytes * 8
+        return total
+
+    def size_in_bits_model(self) -> int:
+        """sdsl-style model: n·ceil(log sigma)(1 + 25% rank) + C array."""
+        payload = sum(bv.size_in_bits_model() for bv in self._levels)
+        c_array = (self._sigma + 1) * max(1, (self._n + 1).bit_length())
+        return payload + c_array
+
+    def _check_symbol(self, symbol: int) -> None:
+        if not 0 <= symbol < self._sigma:
+            raise ValueError(
+                f"symbol {symbol} outside alphabet [0, {self._sigma})"
+            )
+
+    def _walk_down(self, symbol: int, i: int) -> int:
+        """Map position ``i`` down the path of ``symbol`` to the bottom."""
+        for level in range(self._height):
+            bv = self._levels[level]
+            bit = (symbol >> (self._height - 1 - level)) & 1
+            if bit:
+                i = self._zeros[level] + bv.rank1(i)
+            else:
+                i = bv.rank0(i)
+        return i
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WaveletMatrix(n={self._n}, sigma={self._sigma}, "
+            f"height={self._height})"
+        )

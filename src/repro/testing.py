@@ -1,0 +1,160 @@
+"""Reference oracles and generators for testing RPQ engines.
+
+The differential test suite checks every engine in this library
+against :func:`brute_force_rpq`, an implementation that shares *no*
+code path with them: it materialises the full product graph of §3.2 as
+an explicit :mod:`networkx` digraph and answers by plain reachability.
+It is exponentially wasteful and only fit for small graphs — which is
+exactly what makes it a trustworthy oracle.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from repro.automata.syntax import RegexNode
+from repro.automata.thompson import build_thompson
+from repro.core.query import RPQ, Variable
+from repro.graph.model import Graph, inverse_label, is_inverse_label
+
+
+def _atom_matches_label(atom, label: str,
+                        symmetric: frozenset[str]) -> bool:
+    """Label-level atom matching on the completed string graph.
+
+    ``symmetric`` lists predicates stored bidirectionally under one
+    label; their inverse spelling (``^l``) matches the plain label, and
+    their reversed edges count as inverse-direction edges for negated
+    property sets.
+    """
+    from repro.automata.syntax import NegatedClass, Symbol
+
+    if isinstance(atom, Symbol):
+        if atom.label == label:
+            return True
+        return (
+            is_inverse_label(atom.label)
+            and inverse_label(atom.label) == label
+            and label in symmetric
+        )
+    if isinstance(atom, NegatedClass):
+        if atom.inverse:
+            if is_inverse_label(label):
+                return inverse_label(label) not in atom.excluded
+            return label in symmetric and label not in atom.excluded
+        return not is_inverse_label(label) and label not in atom.excluded
+    raise TypeError(f"unknown atom {type(atom).__name__}")
+
+
+def brute_force_rpq(
+    graph: Graph,
+    query: RPQ | str,
+    completed: Graph | None = None,
+) -> set[tuple[str, str]]:
+    """Evaluate an RPQ by explicit product-graph reachability.
+
+    ``graph`` is the original (non-completed) graph; the completion is
+    computed here (or passed in to save time across many queries).
+    Returns the set of ``(subject, object)`` label pairs.
+
+    This oracle intentionally mirrors §3.2 verbatim: build the NFA,
+    build ``G_E`` as a concrete digraph over ``V x Q``, and search it.
+    """
+    if isinstance(query, str):
+        query = RPQ.parse(query)
+    if completed is None:
+        completed = graph.completion()
+    nfa = build_thompson(query.expr)
+    nodes = completed.nodes
+
+    product = nx.DiGraph()
+    for x in nodes:
+        for q in range(nfa.num_states):
+            product.add_node((x, q))
+    symmetric = frozenset(graph.symmetric_predicates)
+    for s, p, o in completed:
+        for q in range(nfa.num_states):
+            for atom, target in nfa.successors(q):
+                if _atom_matches_label(atom, p, symmetric):
+                    product.add_edge((s, q), (o, target))
+
+    nullable = nfa.initial in nfa.finals
+    starts = (
+        [query.subject] if not isinstance(query.subject, Variable) else nodes
+    )
+    targets = (
+        {query.object} if not isinstance(query.object, Variable) else None
+    )
+
+    pairs: set[tuple[str, str]] = set()
+    node_set = set(nodes)
+    for start in starts:
+        if start not in node_set:
+            continue
+        # descendants() = everything reachable by >= 1 edge; the
+        # zero-length case is exactly "nullable", handled separately.
+        # (The ε-free Thompson initial state has no incoming edges, so
+        # (start, initial) can never be an accepting *path* endpoint.)
+        for node, state in nx.descendants(product, (start, nfa.initial)):
+            if state in nfa.finals and (targets is None or node in targets):
+                pairs.add((start, node))
+        if nullable and (targets is None or start in targets):
+            pairs.add((start, start))
+    return pairs
+
+
+def random_regex(
+    rng: random.Random,
+    predicates: list[str],
+    max_depth: int = 3,
+    allow_inverse: bool = True,
+    allow_negation: bool = False,
+) -> str:
+    """A random path regular expression as text (for fuzzing)."""
+
+    def atom() -> str:
+        p = rng.choice(predicates)
+        if allow_negation and rng.random() < 0.08:
+            others = rng.sample(
+                predicates, k=min(len(predicates), rng.randint(1, 2))
+            )
+            return "!(" + "|".join(others) + ")"
+        if allow_inverse and rng.random() < 0.25:
+            return "^" + p
+        return p
+
+    def expr(depth: int) -> str:
+        r = rng.random()
+        if depth >= max_depth or r < 0.34:
+            return atom()
+        if r < 0.54:
+            return expr(depth + 1) + "/" + expr(depth + 1)
+        if r < 0.68:
+            return "(" + expr(depth + 1) + "|" + expr(depth + 1) + ")"
+        if r < 0.8:
+            return "(" + expr(depth + 1) + ")*"
+        if r < 0.92:
+            return "(" + expr(depth + 1) + ")+"
+        return "(" + expr(depth + 1) + ")?"
+
+    return expr(0)
+
+
+def random_query(
+    rng: random.Random,
+    graph: Graph,
+    max_depth: int = 3,
+    allow_negation: bool = False,
+) -> RPQ:
+    """A random RPQ over the graph's vocabulary (for fuzzing)."""
+    predicates = [p for p in graph.predicates if not is_inverse_label(p)]
+    expr = random_regex(
+        rng, predicates, max_depth=max_depth, allow_negation=allow_negation
+    )
+    nodes = graph.nodes
+    shape = rng.choice(["vv", "vc", "cv", "cc"])
+    subject = "?x" if shape[0] == "v" else rng.choice(nodes)
+    obj = "?y" if shape[1] == "v" else rng.choice(nodes)
+    return RPQ.of(subject, expr, obj)

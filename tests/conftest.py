@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.datasets import (
+    SANTIAGO_NODE_ORDER,
+    santiago_transport,
+)
+from repro.graph.generators import random_graph, wikidata_like
+from repro.ring.builder import RingIndex
+
+
+@pytest.fixture(scope="session")
+def santiago_graph():
+    """The paper's Fig. 1 transport graph."""
+    return santiago_transport()
+
+
+@pytest.fixture(scope="session")
+def santiago_index(santiago_graph):
+    """Ring index over the Fig. 1 graph with the paper's id order."""
+    return RingIndex.from_graph(
+        santiago_graph,
+        node_order=SANTIAGO_NODE_ORDER,
+        predicate_order=["l1", "l2", "l5", "bus"],
+    )
+
+
+@pytest.fixture(scope="session")
+def santiago_index_sorted(santiago_graph):
+    """Ring index over Fig. 1 with default (sorted) id assignment."""
+    return RingIndex.from_graph(santiago_graph)
+
+
+@pytest.fixture(scope="session")
+def small_graph():
+    """A small random graph shared by integration tests."""
+    return random_graph(n_nodes=20, n_edges=60, n_predicates=4, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_index(small_graph):
+    return RingIndex.from_graph(small_graph)
+
+
+@pytest.fixture(scope="session")
+def kg_graph():
+    """A Wikidata-like graph for benchmark-shaped tests."""
+    return wikidata_like(
+        n_nodes=300, n_edges=1_500, n_predicates=12, seed=3
+    )
+
+
+@pytest.fixture(scope="session")
+def kg_index(kg_graph):
+    return RingIndex.from_graph(kg_graph)
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(0xC0FFEE)

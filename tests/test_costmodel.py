@@ -1,0 +1,80 @@
+"""Tests for the calibrated substrate cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.costmodel import (
+    DEFAULT_COSTS,
+    MODELED_TIMEOUT,
+    CostModel,
+)
+from repro.bench.runner import BenchmarkResults, QueryRecord
+from repro.core.query import RPQ
+
+
+def _record(engine: str, ops: int, timed_out: bool = False,
+            pattern: str = "v * c", shape: str = "c-to-v") -> QueryRecord:
+    return QueryRecord(
+        query=RPQ.parse("(?x, p*, n0)"),
+        pattern=pattern,
+        shape=shape,
+        engine=engine,
+        elapsed=0.01,
+        timed_out=timed_out,
+        truncated=False,
+        n_results=1,
+        storage_ops=ops,
+    )
+
+
+class TestCostModel:
+    def test_modeled_time_linear_in_ops(self):
+        model = CostModel.default()
+        record = _record("ring", 1_000_000)
+        assert model.modeled_time(record) == pytest.approx(
+            1_000_000 * DEFAULT_COSTS["ring"]
+        )
+
+    def test_timeout_pinning(self):
+        model = CostModel.default()
+        assert model.modeled_time(_record("ring", 5, timed_out=True)) \
+            == MODELED_TIMEOUT
+
+    def test_censoring_at_modeled_timeout(self):
+        model = CostModel.default()
+        huge = _record("alp-jena", 10**12)
+        assert model.modeled_time(huge) == MODELED_TIMEOUT
+
+    def test_unknown_engine(self):
+        model = CostModel.default()
+        with pytest.raises(KeyError):
+            model.modeled_time(_record("nope", 10))
+
+    def test_summary_and_wins(self):
+        results = BenchmarkResults(timeout=1.0)
+        results.records = [
+            _record("ring", 1_000),
+            _record("ring", 3_000),
+            _record("alp-jena", 500),
+            _record("alp-jena", 700),
+        ]
+        model = CostModel.default()
+        ring = model.summary(results, "ring")
+        jena = model.summary(results, "alp-jena")
+        assert ring.count == jena.count == 2
+        # 2k ops @ 60ns << 600 ops @ 1.5us
+        assert ring.average < jena.average
+        wins = model.pattern_wins(results)
+        assert wins == {"v * c": "ring"}
+
+    def test_pattern_median_missing(self):
+        results = BenchmarkResults(timeout=1.0)
+        model = CostModel.default()
+        assert model.pattern_median(results, "ring", "v * c") is None
+
+    def test_all_table2_engines_have_costs(self):
+        from repro.baselines.registry import TABLE2_ENGINES
+
+        for engine in TABLE2_ENGINES:
+            assert engine in DEFAULT_COSTS

@@ -1,0 +1,71 @@
+"""End-to-end tests of the experiment drivers at micro scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.context import tiny_context
+from repro.bench.costmodel import CostModel
+from repro.bench.fig8 import compute_fig8, win_report
+from repro.bench.table2 import Table2, compute_table2, format_table2
+
+
+@pytest.fixture(scope="module")
+def context():
+    return tiny_context(
+        n_nodes=150, n_edges=800, n_predicates=8, log_scale=0.012,
+        timeout=5.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def table(context):
+    return compute_table2(context)
+
+
+class TestTable2Driver:
+    def test_engines_present(self, table):
+        assert table.engines() == [
+            "ring", "alp-jena", "seminaive-virtuoso", "alp-blazegraph"
+        ]
+
+    def test_space_column(self, table):
+        assert table.space["ring"] < min(
+            v for k, v in table.space.items() if k != "ring"
+        )
+
+    def test_headline_derivations(self, table):
+        speedup, runner_up = table.speedup_vs_next_best()
+        assert speedup > 0
+        assert runner_up != "ring"
+        lo, hi = table.space_ratio_range()
+        assert 1 < lo <= hi
+
+    def test_format_contains_all_rows(self, table):
+        text = format_table2(table)
+        for label in ("Space", "Average", "Median", "Timeouts",
+                      "Average c-to-v", "Average v-to-v", "Ops (mean)",
+                      "Model avg", "packed data baseline",
+                      "working space"):
+            assert label in text, label
+
+    def test_no_engine_disagreements(self, table):
+        assert table.results.consistency_check() == []
+
+    def test_is_table2_instance(self, table):
+        assert isinstance(table, Table2)
+
+
+class TestFig8Driver:
+    def test_win_report(self, context):
+        results = compute_fig8(context)
+        report = win_report(context, results)
+        assert "per-pattern winners" in report
+        assert "wall-clock: ring wins" in report
+        assert "modeled substrate: ring wins" in report
+
+    def test_modeled_wins_consistent(self, context):
+        results = compute_fig8(context)
+        model = CostModel.default()
+        wins = model.pattern_wins(results)
+        assert set(wins) == set(results.patterns())

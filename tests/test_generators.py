@@ -1,0 +1,90 @@
+"""Tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConstructionError
+from repro.graph.generators import (
+    chain_graph,
+    cycle_graph,
+    random_graph,
+    wikidata_like,
+)
+from repro.graph.model import is_inverse_label
+
+
+class TestSimpleGenerators:
+    def test_chain(self):
+        g = chain_graph(5)
+        assert len(g) == 5
+        assert ("n0", "next", "n1") in g
+        assert ("n4", "next", "n5") in g
+
+    def test_cycle(self):
+        g = cycle_graph(4)
+        assert len(g) == 4
+        assert ("n3", "next", "n0") in g
+
+    def test_cycle_rejects_empty(self):
+        with pytest.raises(ConstructionError):
+            cycle_graph(0)
+
+    def test_random_graph_deterministic(self):
+        a = random_graph(30, 100, 4, seed=5)
+        b = random_graph(30, 100, 4, seed=5)
+        assert a.triples == b.triples
+        c = random_graph(30, 100, 4, seed=6)
+        assert a.triples != c.triples
+
+    def test_random_graph_bounds(self):
+        g = random_graph(10, 50, 3, seed=1)
+        assert len(g) <= 50
+        assert all(p in {"p0", "p1", "p2"} for _, p, _ in g)
+
+    def test_random_graph_validation(self):
+        with pytest.raises(ConstructionError):
+            random_graph(0, 10, 2)
+
+
+class TestWikidataLike:
+    def test_deterministic(self):
+        a = wikidata_like(200, 1000, 16, seed=9)
+        b = wikidata_like(200, 1000, 16, seed=9)
+        assert a.triples == b.triples
+
+    def test_sizes(self):
+        g = wikidata_like(300, 2000, 20, seed=0)
+        assert 1000 <= len(g) <= 2000
+        assert len(g.nodes) <= 300
+        assert not any(is_inverse_label(p) for p in g.predicates)
+
+    def test_predicate_skew(self):
+        g = wikidata_like(500, 5000, 24, seed=1)
+        counts = Counter(p for _, p, _ in g)
+        ordered = [c for _, c in counts.most_common()]
+        # Zipf-ish: the most popular predicate dominates the median one.
+        assert ordered[0] > 4 * ordered[len(ordered) // 2]
+
+    def test_hierarchy_predicate_is_deep(self):
+        g = wikidata_like(400, 3000, 16, seed=2)
+        # p0 forms a forest over class ids: walk up from some node and
+        # expect a chain of length >= 3 somewhere.
+        parents = {}
+        for s, p, o in g:
+            if p == "p0":
+                parents.setdefault(s, o)
+        depths = []
+        for start in list(parents)[:200]:
+            depth, node = 0, start
+            while node in parents and depth < 50:
+                node = parents[node]
+                depth += 1
+            depths.append(depth)
+        assert depths and max(depths) >= 3
+
+    def test_too_few_predicates_rejected(self):
+        with pytest.raises(ConstructionError):
+            wikidata_like(100, 500, 3)

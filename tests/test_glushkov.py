@@ -1,0 +1,189 @@
+"""Tests for the Glushkov construction and its defining properties."""
+
+from __future__ import annotations
+
+import itertools
+import re as pyre
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util.bits import iter_set_bits
+from repro.automata.glushkov import (
+    build_glushkov,
+    resolve_atom_to_predicates,
+)
+from repro.automata.parser import parse_regex
+from repro.automata.syntax import NegatedClass, Symbol
+from repro.graph.model import Graph
+from repro.ring.dictionary import Dictionary
+
+
+class TestStructure:
+    def test_state_count_is_m_plus_one(self):
+        for source, m in [("a", 1), ("a/b", 2), ("a|b|c", 3),
+                          ("(a/b)*/c+", 3), ("a/a/a/a", 4)]:
+            automaton = build_glushkov(parse_regex(source))
+            assert automaton.m == m
+            assert automaton.num_states == m + 1
+
+    def test_epsilon_expression(self):
+        automaton = build_glushkov(parse_regex("ε"))
+        assert automaton.m == 0
+        assert automaton.nullable
+        assert automaton.final_mask == 1  # state 0 accepting
+
+    def test_no_transitions_into_initial(self):
+        for source in ["a*", "(a|b)+", "a/b*", "(a?/b)*"]:
+            automaton = build_glushkov(parse_regex(source))
+            for _, _, target in automaton.transitions():
+                assert target != 0
+
+    def test_homogeneous_inputs(self):
+        # Glushkov property 3: all transitions into a state share its
+        # atom — structural by construction; verify via transitions().
+        automaton = build_glushkov(parse_regex("a/(b|c)*/a"))
+        incoming: dict[int, set[str]] = {}
+        for _, atom, target in automaton.transitions():
+            incoming.setdefault(target, set()).add(str(atom))
+        for labels in incoming.values():
+            assert len(labels) == 1
+
+    def test_fact1(self):
+        """Fact 1: reach(X, c) == reach(X, any) & reach(any, c)."""
+        automaton = build_glushkov(parse_regex("a/(b*)/b"))
+        b_masks = automaton.b_masks_symbolic()
+        for x_mask in range(1 << automaton.num_states):
+            step_any = 0
+            for x in iter_set_bits(x_mask):
+                step_any |= automaton.follow_masks[x]
+            for symbol, b in b_masks.items():
+                # direct computation of states reached from X by symbol
+                direct = 0
+                for src, atom, target in automaton.transitions():
+                    if (x_mask >> src) & 1 and str(atom) == symbol:
+                        direct |= 1 << target
+                assert direct == step_any & b, (x_mask, symbol)
+
+    def test_paper_fig2_tables(self):
+        automaton = build_glushkov(parse_regex("a/(b*)/b"))
+        b = automaton.b_masks_symbolic()
+        assert automaton.state_mask_str(b["a"]) == "0100"
+        assert automaton.state_mask_str(b["b"]) == "0011"
+        assert automaton.state_mask_str(automaton.final_mask) == "0001"
+
+    def test_pred_masks_invert_follow(self):
+        automaton = build_glushkov(parse_regex("(a|b)*/c"))
+        for x in range(automaton.num_states):
+            for y in iter_set_bits(automaton.follow_masks[x]):
+                assert (automaton.pred_masks[y] >> x) & 1
+
+
+class TestMembership:
+    @pytest.mark.parametrize(
+        "source,accepted,rejected",
+        [
+            ("a", ["a"], ["", "b", "aa"]),
+            ("a*", ["", "a", "aaa"], ["b", "ab"]),
+            ("a/b", ["ab"], ["a", "b", "ba", "abb"]),
+            ("a|b", ["a", "b"], ["", "ab"]),
+            ("(a/b)+", ["ab", "abab"], ["", "a", "aba"]),
+            ("a?/b", ["b", "ab"], ["a", "aab"]),
+        ],
+    )
+    def test_accepts(self, source, accepted, rejected):
+        automaton = build_glushkov(parse_regex(source))
+        for word in accepted:
+            assert automaton.accepts(list(word)), (source, word)
+        for word in rejected:
+            assert not automaton.accepts(list(word)), (source, word)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_matches_python_re(self, data):
+        literals = "abc"
+        depth = data.draw(st.integers(0, 2))
+
+        def gen(d):
+            kind = data.draw(st.sampled_from(
+                ["atom", "concat", "union", "star", "plus", "opt"]
+                if d < 2 else ["atom"]
+            ))
+            if kind == "atom":
+                return data.draw(st.sampled_from(list(literals)))
+            if kind == "concat":
+                return f"{gen(d + 1)}/{gen(d + 1)}"
+            if kind == "union":
+                return f"({gen(d + 1)}|{gen(d + 1)})"
+            if kind == "star":
+                return f"({gen(d + 1)})*"
+            if kind == "plus":
+                return f"({gen(d + 1)})+"
+            return f"({gen(d + 1)})?"
+
+        source = gen(depth)
+        automaton = build_glushkov(parse_regex(source))
+        pattern = pyre.compile("(" + source.replace("/", "") + r")\Z")
+        for length in range(4):
+            for word in itertools.product(literals, repeat=length):
+                expected = pattern.match("".join(word)) is not None
+                assert automaton.accepts(list(word)) == expected
+
+
+class TestAtomResolution:
+    @pytest.fixture()
+    def dictionary(self):
+        graph = Graph(
+            [("a", "p", "b"), ("a", "q", "b"), ("a", "l", "b")],
+            symmetric_predicates=("l",),
+        )
+        return Dictionary.from_graph(graph)
+
+    def test_symbol(self, dictionary):
+        assert resolve_atom_to_predicates(Symbol("p"), dictionary) == {
+            dictionary.predicate_id("p")
+        }
+
+    def test_inverse_symbol(self, dictionary):
+        assert resolve_atom_to_predicates(Symbol("^p"), dictionary) == {
+            dictionary.predicate_id("^p")
+        }
+
+    def test_inverse_of_symmetric(self, dictionary):
+        # ^l resolves to l itself (self-inverse predicate)
+        assert resolve_atom_to_predicates(Symbol("^l"), dictionary) == {
+            dictionary.predicate_id("l")
+        }
+
+    def test_unknown_symbol_empty(self, dictionary):
+        assert resolve_atom_to_predicates(Symbol("zz"), dictionary) == \
+            frozenset()
+        assert resolve_atom_to_predicates(Symbol("^zz"), dictionary) == \
+            frozenset()
+
+    def test_negated_forward(self, dictionary):
+        got = resolve_atom_to_predicates(
+            NegatedClass(frozenset({"p"}), inverse=False), dictionary
+        )
+        assert got == {
+            dictionary.predicate_id("q"), dictionary.predicate_id("l")
+        }
+
+    def test_negated_inverse(self, dictionary):
+        got = resolve_atom_to_predicates(
+            NegatedClass(frozenset({"q"}), inverse=True), dictionary
+        )
+        assert got == {
+            dictionary.predicate_id("^p"), dictionary.predicate_id("l")
+        }
+
+    def test_b_masks_lazy(self, dictionary):
+        automaton = build_glushkov(parse_regex("p/q"))
+        masks = automaton.b_masks(
+            lambda atom: resolve_atom_to_predicates(atom, dictionary)
+        )
+        # only predicates used by the query appear
+        assert set(masks) == {
+            dictionary.predicate_id("p"), dictionary.predicate_id("q")
+        }

@@ -1,0 +1,98 @@
+"""Tests for the string-labeled graph model and I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConstructionError
+from repro.graph.io import dumps_graph, load_graph, loads_graph, save_graph
+from repro.graph.model import Graph, inverse_label, is_inverse_label
+
+
+class TestLabels:
+    def test_inverse_label_roundtrip(self):
+        assert inverse_label("p") == "^p"
+        assert inverse_label("^p") == "p"
+        assert inverse_label(inverse_label("knows")) == "knows"
+
+    def test_is_inverse(self):
+        assert is_inverse_label("^p")
+        assert not is_inverse_label("p")
+
+
+class TestGraph:
+    def test_dedup_and_order(self):
+        g = Graph([("b", "p", "c"), ("a", "p", "b"), ("a", "p", "b")])
+        assert len(g) == 2
+        assert g.triples == (("a", "p", "b"), ("b", "p", "c"))
+
+    def test_nodes_and_predicates(self):
+        g = Graph([("a", "p", "b"), ("b", "q", "c")])
+        assert g.nodes == ["a", "b", "c"]
+        assert g.predicates == ["p", "q"]
+
+    def test_contains(self):
+        g = Graph([("a", "p", "b")])
+        assert ("a", "p", "b") in g
+        assert ("b", "p", "a") not in g
+
+    def test_adjacency(self):
+        g = Graph([("a", "p", "b"), ("a", "q", "c"), ("b", "p", "c")])
+        assert sorted(g.out_edges("a")) == [("p", "b"), ("q", "c")]
+        assert g.in_edges("c") == [("p", "b")] or \
+            sorted(g.in_edges("c")) == [("p", "b"), ("q", "a")]
+        assert g.out_edges("zz") == []
+        assert g.edges_with_predicate("p") == [("a", "b"), ("b", "c")]
+
+    def test_completion_adds_inverses(self):
+        g = Graph([("a", "p", "b")])
+        comp = g.completion()
+        assert set(comp) == {("a", "p", "b"), ("b", "^p", "a")}
+        assert comp.is_completed()
+
+    def test_completion_symmetric(self):
+        g = Graph([("a", "l", "b")], symmetric_predicates=("l",))
+        comp = g.completion()
+        assert set(comp) == {("a", "l", "b"), ("b", "l", "a")}
+        assert "^l" not in comp.predicates
+
+    def test_completion_idempotent(self):
+        g = Graph([("a", "p", "b"), ("c", "q", "a")])
+        once = g.completion()
+        twice = once.completion()
+        assert set(once) == set(twice)
+
+    def test_santiago_counts(self):
+        from repro.graph.datasets import santiago_transport
+
+        g = santiago_transport()
+        assert len(g) == 13
+        assert len(g.completion()) == 16  # paper Fig. 3: 16 triples
+        assert g.nodes == ["BA", "Baq", "LH", "SA", "UCh"]
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path):
+        g = Graph([("a", "p", "b"), ("b", "q", "c")])
+        path = tmp_path / "graph.nt"
+        save_graph(g, path)
+        loaded = load_graph(path)
+        assert set(loaded) == set(g)
+
+    def test_loads_with_comments_and_iris(self):
+        text = """
+        # a comment
+        <http://x/a> <http://x/p> <http://x/b> .
+        a p b
+        """
+        g = loads_graph(text)
+        assert ("a", "p", "b") in g
+        assert ("http://x/a", "http://x/p", "http://x/b") in g
+
+    def test_malformed_line(self):
+        with pytest.raises(ConstructionError):
+            loads_graph("a p\n")
+
+    def test_dumps(self):
+        g = Graph([("a", "p", "b")])
+        assert dumps_graph(g) == "a p b\n"

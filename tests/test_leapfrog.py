@@ -1,0 +1,230 @@
+"""Tests for the §6 extensions: seekable RPQ relations + node filters."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.leapfrog import RPQRelation, join_subjects
+from repro.graph.generators import chain_graph, random_graph
+from repro.ring.builder import RingIndex
+from repro.testing import brute_force_rpq
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = random_graph(n_nodes=16, n_edges=50, n_predicates=3, seed=13)
+    index = RingIndex.from_graph(graph)
+    return graph, index
+
+
+def _expected_ids(graph, index, expr_text):
+    pairs = brute_force_rpq(graph, f"(?x, {expr_text}, ?y)")
+    d = index.dictionary
+    return sorted({
+        (d.node_id(s), d.node_id(o)) for s, o in pairs
+    })
+
+
+class TestRPQRelation:
+    @pytest.mark.parametrize(
+        "expr", ["p0", "p0/p1", "p0+", "p1*", "^p2", "p0|p2", "p0/p1*"]
+    )
+    def test_iter_pairs_matches_oracle(self, setup, expr):
+        graph, index = setup
+        relation = RPQRelation(index, expr)
+        assert list(relation.iter_pairs()) == _expected_ids(
+            graph, index, expr
+        )
+
+    def test_seek_subject_semantics(self, setup):
+        graph, index = setup
+        relation = RPQRelation(index, "p0/p1")
+        subjects = sorted({
+            s for s, _ in _expected_ids(graph, index, "p0/p1")
+        })
+        # seek from 0 and from each subject's successor
+        assert relation.seek_subject(0) == (subjects[0] if subjects
+                                            else None)
+        for a, b in zip(subjects, subjects[1:]):
+            assert relation.seek_subject(a + 1) == b
+        if subjects:
+            assert relation.seek_subject(subjects[-1] + 1) is None
+
+    def test_seek_object(self, setup):
+        graph, index = setup
+        relation = RPQRelation(index, "p0+")
+        pairs = _expected_ids(graph, index, "p0+")
+        by_subject = {}
+        for s, o in pairs:
+            by_subject.setdefault(s, []).append(o)
+        for s, objects in by_subject.items():
+            assert relation.seek_object(s, 0) == objects[0]
+            assert relation.seek_object(s, objects[-1] + 1) is None
+            for o in objects:
+                assert relation.seek_object(s, o) == o
+
+    def test_nullable_relation(self, setup):
+        _, index = setup
+        relation = RPQRelation(index, "p0*")
+        # every node is a subject via the empty path
+        assert relation.seek_subject(0) == 0
+        assert relation.seek_object(3, 3) == 3
+
+    def test_accepts_ast(self, setup):
+        from repro.automata.parser import parse_regex
+
+        _, index = setup
+        relation = RPQRelation(index, parse_regex("p0"))
+        assert relation.seek_subject(0) is not None
+
+
+class TestJoin:
+    def test_join_is_intersection(self, setup):
+        graph, index = setup
+        r1 = RPQRelation(index, "p0")
+        r2 = RPQRelation(index, "p1+")
+        expected = sorted(
+            {s for s, _ in _expected_ids(graph, index, "p0")}
+            & {s for s, _ in _expected_ids(graph, index, "p1+")}
+        )
+        assert join_subjects([r1, r2]) == expected
+
+    def test_join_three_way(self, setup):
+        graph, index = setup
+        exprs = ["p0", "p1|p2", "(p0|p1)/p2*"]
+        relations = [RPQRelation(index, e) for e in exprs]
+        expected = None
+        for e in exprs:
+            subjects = {s for s, _ in _expected_ids(graph, index, e)}
+            expected = subjects if expected is None else expected & subjects
+        assert join_subjects(relations) == sorted(expected)
+
+    def test_join_empty_cases(self, setup):
+        _, index = setup
+        assert join_subjects([]) == []
+        empty = RPQRelation(index, "nothere")
+        some = RPQRelation(index, "p0")
+        assert join_subjects([empty, some]) == []
+
+
+class TestTriplePatternRelation:
+    def test_seek_subject_unbound_object(self, setup):
+        from repro.core.leapfrog import TriplePatternRelation
+
+        graph, index = setup
+        relation = TriplePatternRelation(index, "p0")
+        d = index.dictionary
+        expected = sorted({
+            d.node_id(s) for s, p, _ in graph.completion() if p == "p0"
+        })
+        assert list(relation.iter_subjects()) == expected
+
+    def test_seek_subject_bound_object(self, setup):
+        from repro.core.leapfrog import TriplePatternRelation
+
+        graph, index = setup
+        d = index.dictionary
+        completed = graph.completion()
+        some_object = next(o for _, p, o in completed if p == "p1")
+        relation = TriplePatternRelation(index, "p1", some_object)
+        expected = sorted({
+            d.node_id(s) for s, p, o in completed
+            if p == "p1" and o == some_object
+        })
+        assert list(relation.iter_subjects()) == expected
+
+    def test_seek_object(self, setup):
+        from repro.core.leapfrog import TriplePatternRelation
+
+        graph, index = setup
+        d = index.dictionary
+        relation = TriplePatternRelation(index, "p0")
+        for s, p, o in graph.completion():
+            if p != "p0":
+                continue
+            oid = d.node_id(o)
+            assert relation.seek_object(d.node_id(s), oid) == oid
+
+    def test_unknown_vocabulary(self, setup):
+        from repro.core.leapfrog import TriplePatternRelation
+
+        _, index = setup
+        assert TriplePatternRelation(index, "ghost").seek_subject() is None
+        assert TriplePatternRelation(
+            index, "p0", "ghost"
+        ).seek_subject() is None
+
+    def test_mixed_join_with_rpq(self, setup):
+        """The §6 scenario: join a triple pattern with an RPQ relation."""
+        from repro.core.leapfrog import TriplePatternRelation
+
+        graph, index = setup
+        d = index.dictionary
+        pattern = TriplePatternRelation(index, "p0")
+        rpq = RPQRelation(index, "p1+")
+        got = join_subjects([pattern, rpq])
+        expected = sorted(
+            {d.node_id(s) for s, p, _ in graph.completion() if p == "p0"}
+            & {s for s, _ in _expected_ids(graph, index, "p1+")}
+        )
+        assert got == expected
+
+
+class TestForbiddenNodes:
+    def test_blocks_intermediate(self):
+        index = RingIndex.from_graph(chain_graph(6))
+        blocked = index.evaluate(
+            "(n0, next+, ?y)", forbidden_nodes=["n3"]
+        )
+        assert blocked.pairs == {("n0", "n1"), ("n0", "n2")}
+
+    def test_blocks_endpoint(self):
+        index = RingIndex.from_graph(chain_graph(4))
+        result = index.evaluate("(?x, next, ?y)", forbidden_nodes=["n2"])
+        assert ("n1", "n2") not in result.pairs
+        assert ("n2", "n3") not in result.pairs
+        assert ("n0", "n1") in result.pairs
+
+    def test_boolean_with_forbidden(self):
+        index = RingIndex.from_graph(chain_graph(5))
+        assert index.evaluate("(n0, next+, n4)")
+        assert not index.evaluate(
+            "(n0, next+, n4)", forbidden_nodes=["n2"]
+        )
+
+    def test_forbidden_is_per_call(self):
+        index = RingIndex.from_graph(chain_graph(4))
+        index.evaluate("(n0, next+, ?y)", forbidden_nodes=["n2"])
+        # next call without the kwarg must see the full graph again
+        assert ("n0", "n4") in index.evaluate("(n0, next+, ?y)").pairs
+
+    def test_unknown_forbidden_label_ignored(self):
+        index = RingIndex.from_graph(chain_graph(3))
+        result = index.evaluate(
+            "(n0, next+, ?y)", forbidden_nodes=["ghost"]
+        )
+        assert ("n0", "n3") in result.pairs
+
+    def test_matches_filtered_oracle(self):
+        graph = random_graph(n_nodes=10, n_edges=30, n_predicates=2,
+                             seed=5)
+        index = RingIndex.from_graph(graph)
+        rng = random.Random(8)
+        forbidden = set(rng.sample(graph.nodes, 2))
+        for expr in ["p0+", "(p0|p1)*", "p0/p1"]:
+            got = index.evaluate(
+                f"(?x, {expr}, ?y)", forbidden_nodes=forbidden
+            ).pairs
+            # oracle: evaluate on the graph with forbidden nodes removed
+            filtered = type(graph)(
+                [t for t in graph
+                 if t[0] not in forbidden and t[2] not in forbidden]
+            )
+            expected = {
+                (s, o)
+                for s, o in brute_force_rpq(filtered, f"(?x, {expr}, ?y)")
+                if s not in forbidden and o not in forbidden
+            }
+            assert got == expected, expr

@@ -1,0 +1,73 @@
+"""Tests for triple-pattern access on the ring index."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.graph.generators import random_graph
+from repro.ring.builder import RingIndex
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = random_graph(n_nodes=15, n_edges=60, n_predicates=3, seed=29)
+    index = RingIndex.from_graph(graph)
+    completed = sorted(graph.completion())
+    return index, completed
+
+
+def naive(completed, s=None, p=None, o=None):
+    return sorted(
+        t for t in completed
+        if (s is None or t[0] == s)
+        and (p is None or t[1] == p)
+        and (o is None or t[2] == o)
+    )
+
+
+PATTERNS = [
+    (None, None, None),
+    ("n1", None, None),
+    (None, "p0", None),
+    (None, None, "n2"),
+    ("n1", "p0", None),
+    (None, "p0", "n2"),
+    ("n1", None, "n2"),
+    ("n1", "p0", "n2"),
+    (None, "^p1", None),
+    ("n3", "^p1", None),
+]
+
+
+@pytest.mark.parametrize("pattern", PATTERNS)
+def test_matches_naive(setup, pattern):
+    index, completed = setup
+    s, p, o = pattern
+    got = sorted(index.match_pattern(s, p, o))
+    assert got == naive(completed, s, p, o), pattern
+
+
+def test_unknown_components_empty(setup):
+    index, _ = setup
+    assert list(index.match_pattern("ghost", None, None)) == []
+    assert list(index.match_pattern(None, "ghost", None)) == []
+    assert list(index.match_pattern(None, None, "ghost")) == []
+
+
+def test_multiplicity_is_one_per_triple(setup):
+    index, completed = setup
+    counts = Counter(index.match_pattern(None, None, None))
+    assert all(v == 1 for v in counts.values())
+    assert sum(counts.values()) == len(completed)
+
+
+def test_santiago_symmetric(santiago_index):
+    got = sorted(santiago_index.match_pattern(None, "l5", "Baq"))
+    assert got == [("BA", "l5", "Baq")]
+    got = sorted(santiago_index.match_pattern("Baq", "l5", None))
+    assert got == [("Baq", "l5", "BA")]
+    # fixed subject via inverse of an asymmetric predicate
+    got = sorted(santiago_index.match_pattern("SA", "bus", None))
+    assert got == [("SA", "bus", "UCh")]

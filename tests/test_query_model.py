@@ -1,0 +1,94 @@
+"""Tests for the RPQ query model and result types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.syntax import Symbol
+from repro.core.query import RPQ, Variable, as_query
+from repro.core.result import QueryResult, QueryStats
+from repro.errors import RegexSyntaxError
+
+
+class TestParse:
+    def test_variable_to_constant(self):
+        q = RPQ.parse("(?x, l5+/bus, Baq)")
+        assert q.subject == Variable("x")
+        assert q.object == "Baq"
+        assert str(q.expr) == "l5+/bus"
+        assert q.shape() == "vc"
+
+    def test_constant_to_variable(self):
+        q = RPQ.parse("(Baq, bus, ?y)")
+        assert q.shape() == "cv"
+        assert q.subject == "Baq"
+
+    def test_both_variables(self):
+        assert RPQ.parse("(?x, p, ?y)").shape() == "vv"
+
+    def test_both_constants(self):
+        assert RPQ.parse("(a, p, b)").shape() == "cc"
+
+    def test_without_parens(self):
+        q = RPQ.parse("?x, p, b")
+        assert q.shape() == "vc"
+
+    def test_iri_endpoint(self):
+        q = RPQ.parse("(<http://x/a>, p, ?y)")
+        assert q.subject == "http://x/a"
+
+    def test_bad_arity(self):
+        with pytest.raises(RegexSyntaxError):
+            RPQ.parse("(a, p)")
+        with pytest.raises(RegexSyntaxError):
+            RPQ.parse("(a, p, b, c)")
+
+    def test_empty_endpoint(self):
+        with pytest.raises(RegexSyntaxError):
+            RPQ.parse("(, p, b)")
+
+    def test_bare_question_mark(self):
+        with pytest.raises(RegexSyntaxError):
+            RPQ.parse("(?, p, b)")
+
+    def test_of_with_ast(self):
+        q = RPQ.of("?x", Symbol("p"), "b")
+        assert q.expr == Symbol("p")
+
+    def test_as_query_passthrough(self):
+        q = RPQ.parse("(?x, p, ?y)")
+        assert as_query(q) is q
+        assert as_query("(?x, p, ?y)") == q
+
+    def test_str_roundtrip(self):
+        q = RPQ.parse("(?x, a/b*, Baq)")
+        assert RPQ.parse(str(q)) == q
+
+    def test_reversed(self):
+        q = RPQ.parse("(s, a/b, ?y)")
+        r = q.reversed()
+        assert r.subject == Variable("y")
+        assert r.object == "s"
+        assert str(r.expr) == "^b/^a"
+        assert r.reversed() == q
+
+
+class TestResult:
+    def test_set_interface(self):
+        result = QueryResult(pairs={("a", "b"), ("a", "c")})
+        assert len(result) == 2
+        assert ("a", "b") in result
+        assert list(result) == [("a", "b"), ("a", "c")]
+        assert result.subjects() == {"a"}
+        assert result.objects() == {"b", "c"}
+        assert bool(result)
+        assert not QueryResult()
+
+    def test_stats_working_set(self):
+        stats = QueryStats(visited_nodes=10, b_entries=2, nfa_states=4)
+        assert stats.working_set_bits() == 48
+
+    def test_repr_flags(self):
+        stats = QueryStats(timed_out=True, truncated=True)
+        text = repr(QueryResult(stats=stats))
+        assert "TIMEOUT" in text and "TRUNCATED" in text

@@ -1,0 +1,148 @@
+"""Tests for the regex AST and parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.parser import parse_regex
+from repro.automata.syntax import (
+    Concat,
+    Epsilon,
+    NegatedClass,
+    Optional,
+    Plus,
+    Star,
+    Symbol,
+    Union,
+    concat,
+    union,
+)
+from repro.errors import RegexSyntaxError
+
+
+class TestParser:
+    def test_atom(self):
+        assert parse_regex("p") == Symbol("p")
+
+    def test_iri_atom(self):
+        assert parse_regex("<http://x/p>") == Symbol("http://x/p")
+
+    def test_concat_and_union_precedence(self):
+        ast = parse_regex("a/b|c")
+        assert isinstance(ast, Union)
+        assert ast.children[0] == Concat((Symbol("a"), Symbol("b")))
+        assert ast.children[1] == Symbol("c")
+
+    def test_postfix_binding(self):
+        ast = parse_regex("a/b*")
+        assert ast == Concat((Symbol("a"), Star(Symbol("b"))))
+
+    def test_postfix_stacking(self):
+        ast = parse_regex("a*?")
+        assert ast == Optional(Star(Symbol("a")))
+
+    def test_plus_and_optional(self):
+        assert parse_regex("a+") == Plus(Symbol("a"))
+        assert parse_regex("a?") == Optional(Symbol("a"))
+
+    def test_group(self):
+        ast = parse_regex("(a|b)*")
+        assert isinstance(ast, Star)
+        assert isinstance(ast.child, Union)
+
+    def test_inverse_atom(self):
+        assert parse_regex("^p") == Symbol("^p")
+        assert parse_regex("^^p") == Symbol("p")
+
+    def test_inverse_distributes(self):
+        assert str(parse_regex("^(a/b)")) == "^b/^a"
+        assert str(parse_regex("^(a|b)")) == "^a|^b"
+        assert str(parse_regex("^(a*)")) == "^a*"
+
+    def test_epsilon(self):
+        assert parse_regex("ε") == Epsilon()
+
+    def test_negated_class_forward(self):
+        ast = parse_regex("!(a|b)")
+        assert ast == NegatedClass(frozenset({"a", "b"}), inverse=False)
+
+    def test_negated_class_mixed(self):
+        ast = parse_regex("!(a|^b)")
+        assert isinstance(ast, Union)
+        kinds = {(c.inverse, tuple(sorted(c.excluded)))
+                 for c in ast.children}
+        assert kinds == {(False, ("a",)), (True, ("b",))}
+
+    def test_whitespace_tolerated(self):
+        assert parse_regex(" a / b ") == parse_regex("a/b")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "  ", "a/", "|a", "a|", "(a", "a)", "*", "a//b", "!(", "!()",
+         "^", "a $ b"],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex(bad)
+
+    @pytest.mark.parametrize(
+        "source",
+        ["a", "a/b", "a|b|c", "(a/b)*", "a+/b?", "^a/(b|^c)+",
+         "!(a|b)/c*", "a/b/c/d", "((a))"],
+    )
+    def test_roundtrip(self, source):
+        ast = parse_regex(source)
+        assert parse_regex(str(ast)) == ast
+
+
+class TestAst:
+    def test_reverse_involution(self):
+        for source in ["a/b", "(a|b)+", "^a/b*", "!(x)/y?"]:
+            ast = parse_regex(source)
+            assert ast.reverse().reverse() == ast
+
+    def test_num_positions(self):
+        assert parse_regex("a/b*/c|d").num_positions() == 4
+        assert Epsilon().num_positions() == 0
+
+    def test_atoms_in_order(self):
+        ast = parse_regex("a/(b|c)*/d")
+        assert [str(x) for x in ast.atoms()] == ["a", "b", "c", "d"]
+
+    def test_length_range(self):
+        assert parse_regex("a/b").length_range() == (2, 2)
+        assert parse_regex("a*").length_range() == (0, None)
+        assert parse_regex("a+").length_range() == (1, None)
+        assert parse_regex("a?").length_range() == (0, 1)
+        assert parse_regex("a|b/c").length_range() == (1, 2)
+
+    def test_is_fixed_length(self):
+        assert parse_regex("a/b").is_fixed_length()
+        assert not parse_regex("a?").is_fixed_length()
+        assert not parse_regex("a*").is_fixed_length()
+
+    def test_smart_constructors(self):
+        assert concat(Symbol("a")) == Symbol("a")
+        assert concat() == Epsilon()
+        assert concat(Epsilon(), Symbol("a")) == Symbol("a")
+        flat = concat(Concat((Symbol("a"), Symbol("b"))), Symbol("c"))
+        assert flat == Concat((Symbol("a"), Symbol("b"), Symbol("c")))
+        assert union(Symbol("a")) == Symbol("a")
+        flat_u = union(Union((Symbol("a"), Symbol("b"))), Symbol("c"))
+        assert flat_u == Union((Symbol("a"), Symbol("b"), Symbol("c")))
+
+    def test_invalid_arity(self):
+        with pytest.raises(ValueError):
+            Concat((Symbol("a"),))
+        with pytest.raises(ValueError):
+            Union((Symbol("a"),))
+
+    def test_str_parenthesisation(self):
+        assert str(parse_regex("(a|b)/c")) == "(a|b)/c"
+        assert str(parse_regex("(a/b)*")) == "(a/b)*"
+        assert str(parse_regex("a/b/c")) == "a/b/c"
+
+    def test_negated_class_reverse(self):
+        fwd = NegatedClass(frozenset({"a"}), inverse=False)
+        assert fwd.reverse() == NegatedClass(frozenset({"a"}), inverse=True)
+        assert fwd.reverse().reverse() == fwd

@@ -1,0 +1,93 @@
+"""Tests for index persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConstructionError
+from repro.graph.generators import random_graph
+from repro.ring.builder import RingIndex
+from repro.ring.storage import load_index, save_index
+
+
+@pytest.fixture(scope="module")
+def index():
+    graph = random_graph(n_nodes=25, n_edges=90, n_predicates=4, seed=17)
+    return RingIndex.from_graph(graph), graph
+
+
+class TestRoundtrip:
+    def test_triples_survive(self, index, tmp_path):
+        original, graph = index
+        path = tmp_path / "graph.ring.npz"
+        save_index(original, path)
+        restored = load_index(path)
+        assert sorted(restored.ring.iter_triples()) == \
+            sorted(original.ring.iter_triples())
+        assert restored.dictionary.node_labels == \
+            original.dictionary.node_labels
+        assert restored.dictionary.predicate_labels == \
+            original.dictionary.predicate_labels
+
+    def test_queries_survive(self, index, tmp_path):
+        original, graph = index
+        path = tmp_path / "graph.ring.npz"
+        save_index(original, path)
+        restored = load_index(path)
+        for query in ["(?x, p0+, ?y)", "(?x, p1/p2*, ?y)",
+                      "(n1, (p0|p3)*, ?y)"]:
+            assert restored.evaluate(query).pairs == \
+                original.evaluate(query).pairs, query
+
+    def test_with_object_column(self, tmp_path):
+        graph = random_graph(n_nodes=10, n_edges=30, n_predicates=2,
+                             seed=3)
+        original = RingIndex.from_graph(graph, keep_object_column=True)
+        path = tmp_path / "with_lo.npz"
+        save_index(original, path)
+        restored = load_index(path)
+        assert restored.ring.L_o is not None
+        for i in range(len(restored.ring)):
+            assert restored.ring.lf_o(restored.ring.lf_s(
+                restored.ring.lf_p(i))) == i
+
+    def test_santiago_paper_layout(self, tmp_path):
+        from repro.graph.datasets import (
+            SANTIAGO_NODE_ORDER,
+            santiago_transport,
+        )
+
+        original = RingIndex.from_graph(
+            santiago_transport(),
+            node_order=SANTIAGO_NODE_ORDER,
+            predicate_order=["l1", "l2", "l5", "bus"],
+        )
+        path = tmp_path / "santiago.npz"
+        save_index(original, path)
+        restored = load_index(path)
+        assert restored.evaluate("(Baq, l5+/bus, ?y)").pairs == {
+            ("Baq", "SA"), ("Baq", "UCh")
+        }
+        # symmetric predicate inverse mapping survives
+        d = restored.dictionary
+        assert d.inverse_predicate(d.predicate_id("l1")) == \
+            d.predicate_id("l1")
+
+    def test_bad_format_rejected(self, index, tmp_path):
+        import json
+
+        path = tmp_path / "bad.npz"
+        meta = json.dumps({"format": 999})
+        np.savez(path, meta_json=np.frombuffer(
+            meta.encode(), dtype=np.uint8
+        ))
+        with pytest.raises(ConstructionError):
+            load_index(path)
+
+    def test_empty_graph(self, tmp_path):
+        original = RingIndex.from_triples([("a", "p", "b")])
+        path = tmp_path / "tiny.npz"
+        save_index(original, path)
+        restored = load_index(path)
+        assert len(restored.ring) == 2

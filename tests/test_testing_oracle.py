@@ -1,0 +1,89 @@
+"""Self-tests of the brute-force oracle and the fuzz generators.
+
+The oracle verifies the engines, so it must itself be verified against
+hand-computed answers on tiny graphs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.query import RPQ
+from repro.graph.model import Graph
+from repro.testing import brute_force_rpq, random_query, random_regex
+
+
+class TestOracleByHand:
+    def test_chain(self):
+        g = Graph([("a", "p", "b"), ("b", "p", "c")])
+        assert brute_force_rpq(g, "(?x, p, ?y)") == {
+            ("a", "b"), ("b", "c")
+        }
+        assert brute_force_rpq(g, "(?x, p/p, ?y)") == {("a", "c")}
+        assert brute_force_rpq(g, "(?x, p+, ?y)") == {
+            ("a", "b"), ("b", "c"), ("a", "c")
+        }
+        assert brute_force_rpq(g, "(a, p*, ?y)") == {
+            ("a", "a"), ("a", "b"), ("a", "c")
+        }
+
+    def test_inverse(self):
+        g = Graph([("a", "p", "b")])
+        assert brute_force_rpq(g, "(b, ^p, ?y)") == {("b", "a")}
+        assert brute_force_rpq(g, "(?x, ^p, a)") == {("b", "a")}
+
+    def test_nullable_all_nodes(self):
+        g = Graph([("a", "p", "b")])
+        assert brute_force_rpq(g, "(?x, p?, ?y)") == {
+            ("a", "a"), ("b", "b"), ("a", "b")
+        }
+
+    def test_boolean(self):
+        g = Graph([("a", "p", "b")])
+        assert brute_force_rpq(g, "(a, p, b)") == {("a", "b")}
+        assert brute_force_rpq(g, "(b, p, a)") == set()
+        assert brute_force_rpq(g, "(a, p*, a)") == {("a", "a")}
+
+    def test_unknown_constant(self):
+        g = Graph([("a", "p", "b")])
+        assert brute_force_rpq(g, "(zz, p, ?y)") == set()
+
+    def test_cycle(self):
+        g = Graph([("a", "p", "b"), ("b", "p", "a")])
+        assert brute_force_rpq(g, "(a, p+, a)") == {("a", "a")}
+        assert brute_force_rpq(g, "(?x, p/p, ?y)") == {
+            ("a", "a"), ("b", "b")
+        }
+
+    def test_negated_class(self):
+        g = Graph([("a", "p", "b"), ("a", "q", "c")])
+        assert brute_force_rpq(g, "(?x, !(p), ?y)") == {("a", "c")}
+        # inverse direction: reversed edges avoiding ^p
+        assert brute_force_rpq(g, "(?x, !(^p), ?y)") == {("c", "a")}
+
+    def test_symmetric_predicate(self):
+        g = Graph([("a", "l", "b"), ("b", "l", "a")],
+                  symmetric_predicates=("l",))
+        assert brute_force_rpq(g, "(?x, ^l, ?y)") == {
+            ("a", "b"), ("b", "a")
+        }
+
+
+class TestGenerators:
+    def test_random_regex_parses(self):
+        from repro.automata.parser import parse_regex
+
+        rng = random.Random(1)
+        for _ in range(100):
+            text = random_regex(rng, ["p", "q"], allow_negation=True)
+            parse_regex(text)  # must not raise
+
+    def test_random_query_shapes(self):
+        g = Graph([("a", "p", "b"), ("b", "q", "c")])
+        rng = random.Random(2)
+        shapes = set()
+        for _ in range(60):
+            q = random_query(rng, g)
+            assert isinstance(q, RPQ)
+            shapes.add(q.shape())
+        assert shapes == {"vv", "vc", "cv", "cc"}

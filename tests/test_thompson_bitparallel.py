@@ -1,0 +1,158 @@
+"""Tests for Thompson's construction and the bit-parallel simulators."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.bitparallel import (
+    ChunkedTransitionTable,
+    ForwardSimulator,
+    ReverseSimulator,
+)
+from repro.automata.glushkov import build_glushkov
+from repro.automata.parser import parse_regex
+from repro.automata.thompson import build_thompson
+from repro.graph.model import inverse_label
+
+
+class TestThompson:
+    @pytest.mark.parametrize(
+        "source,accepted,rejected",
+        [
+            ("a", ["a"], ["", "aa"]),
+            ("a*", ["", "aaa"], ["b"]),
+            ("a/b|c", ["ab", "c"], ["a", "bc"]),
+            ("(a|b)+/c?", ["a", "abc", "bb"], ["", "c"]),
+            ("ε", [""], ["a"]),
+            ("a?", ["", "a"], ["aa"]),
+        ],
+    )
+    def test_accepts(self, source, accepted, rejected):
+        nfa = build_thompson(parse_regex(source))
+        for word in accepted:
+            assert nfa.accepts(list(word)), (source, word)
+        for word in rejected:
+            assert not nfa.accepts(list(word)), (source, word)
+
+    def test_no_epsilon_and_reachable(self):
+        nfa = build_thompson(parse_regex("(a|b)*/c"))
+        # all states reachable from 0 by construction; delta only has
+        # symbol-labeled transitions
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            q = frontier.pop()
+            for _, target in nfa.successors(q):
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        assert seen == set(range(nfa.num_states))
+
+    def test_initial_has_no_incoming(self):
+        for source in ["a*", "(a/b)+", "a|b?"]:
+            nfa = build_thompson(parse_regex(source))
+            targets = {t for q in range(nfa.num_states)
+                       for _, t in nfa.successors(q)}
+            assert nfa.initial not in targets
+
+
+class TestChunkedTable:
+    def test_matches_direct_or(self):
+        masks = [0b0001, 0b0110, 0b1000, 0b0011, 0b1111]
+        for chunk_bits in (1, 2, 3, 13):
+            table = ChunkedTransitionTable(masks, chunk_bits)
+            for x in range(1 << len(masks)):
+                expected = 0
+                for i in range(len(masks)):
+                    if (x >> i) & 1:
+                        expected |= masks[i]
+                assert table[x] == expected, (chunk_bits, x)
+
+    def test_table_entries_bound(self):
+        masks = [1] * 20
+        table = ChunkedTransitionTable(masks, chunk_bits=4)
+        # 5 chunks x 2^4 entries
+        assert table.table_entries() == 5 * 16
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(ValueError):
+            ChunkedTransitionTable([1], chunk_bits=0)
+
+    def test_empty_masks(self):
+        table = ChunkedTransitionTable([])
+        assert table[0] == 0
+
+
+class TestSimulators:
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_forward_reverse_agree(self, data):
+        literals = "ab"
+
+        def gen(d):
+            kind = data.draw(st.sampled_from(
+                ["atom", "concat", "union", "star", "plus", "opt"]
+                if d < 2 else ["atom"]
+            ))
+            if kind == "atom":
+                return data.draw(st.sampled_from(list(literals)))
+            if kind == "concat":
+                return f"{gen(d + 1)}/{gen(d + 1)}"
+            if kind == "union":
+                return f"({gen(d + 1)}|{gen(d + 1)})"
+            if kind == "star":
+                return f"({gen(d + 1)})*"
+            if kind == "plus":
+                return f"({gen(d + 1)})+"
+            return f"({gen(d + 1)})?"
+
+        source = gen(0)
+        ast = parse_regex(source)
+        automaton = build_glushkov(ast)
+        masks = automaton.b_masks_symbolic()
+        forward = ForwardSimulator(automaton, masks)
+        reverse = ReverseSimulator(automaton, masks)
+        nfa = build_thompson(ast)
+        reversed_aut = build_glushkov(ast.reverse())
+        rev_fwd = ForwardSimulator(
+            reversed_aut, reversed_aut.b_masks_symbolic()
+        )
+        for length in range(4):
+            for word in itertools.product(literals, repeat=length):
+                w = list(word)
+                expected = nfa.accepts(w)
+                assert forward.accepts(w) == expected, (source, w)
+                assert reverse.accepts(w) == expected, (source, w)
+                mirrored = [inverse_label(c) for c in reversed(w)]
+                assert rev_fwd.accepts(mirrored) == expected, (source, w)
+
+    def test_step_prefiltered_matches_step(self):
+        automaton = build_glushkov(parse_regex("a/(b*)/b"))
+        masks = automaton.b_masks_symbolic()
+        reverse = ReverseSimulator(automaton, masks)
+        for d in range(1 << automaton.num_states):
+            for symbol in "ab":
+                filtered = d & masks.get(symbol, 0)
+                expected = reverse.step(d, symbol)
+                if filtered:
+                    assert reverse.step_prefiltered(filtered) == expected
+                else:
+                    assert expected == 0
+
+    def test_unknown_symbol_kills_run(self):
+        automaton = build_glushkov(parse_regex("a"))
+        forward = ForwardSimulator(automaton, automaton.b_masks_symbolic())
+        assert forward.step(forward.start(), "zzz") == 0
+
+    def test_chunk_split_equivalence(self):
+        source = "a/(b|a)*/b/a?/(a/b)+"
+        automaton = build_glushkov(parse_regex(source))
+        masks = automaton.b_masks_symbolic()
+        wide = ForwardSimulator(automaton, masks, chunk_bits=32)
+        narrow = ForwardSimulator(automaton, masks, chunk_bits=2)
+        for word in itertools.product("ab", repeat=5):
+            assert wide.accepts(list(word)) == narrow.accepts(list(word))
