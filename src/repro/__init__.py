@@ -27,6 +27,8 @@ Package layout:
 * :mod:`repro.baselines` — the comparison engines of the evaluation;
 * :mod:`repro.bench` — the harness regenerating every published table
   and figure;
+* :mod:`repro.obs` — observability: operation counters, phase timers,
+  trace hooks and the ``repro profile`` machinery;
 * :mod:`repro.testing` — brute-force oracles for differential testing.
 """
 
@@ -43,6 +45,8 @@ from repro.errors import (
     UnknownSymbolError,
 )
 from repro.graph.model import Graph
+from repro.obs.metrics import NULL_METRICS, Metrics
+from repro.obs.profile import ProfileReport, profile_query
 from repro.ring.builder import RingIndex
 from repro.ring.dictionary import Dictionary
 from repro.ring.ring import Ring
@@ -53,6 +57,9 @@ __all__ = [
     "ConstructionError",
     "Dictionary",
     "Graph",
+    "Metrics",
+    "NULL_METRICS",
+    "ProfileReport",
     "QueryResult",
     "QueryStats",
     "QueryTimeoutError",
@@ -67,4 +74,5 @@ __all__ = [
     "Variable",
     "__version__",
     "parse_regex",
+    "profile_query",
 ]

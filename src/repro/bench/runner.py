@@ -30,6 +30,10 @@ class QueryRecord:
     truncated: bool
     n_results: int
     storage_ops: int = 0
+    #: The full named operation-counter record of the evaluation
+    #: (:meth:`QueryStats.operation_counts`): wavelet nodes visited vs
+    #: pruned per phase, backward steps, object ranges, …
+    counters: dict[str, int] = field(default_factory=dict)
 
 
 def query_shape_class(query: RPQ) -> str:
@@ -84,6 +88,53 @@ class BenchmarkResults:
         if not selected:
             return 0.0
         return sum(r.storage_ops for r in selected) / len(selected)
+
+    def mean_counter(
+        self,
+        engine: str,
+        name: str,
+        shape: str | None = None,
+        pattern: str | None = None,
+    ) -> float:
+        """Average of one named operation counter per query.
+
+        ``name`` is any key of
+        :meth:`~repro.core.result.QueryStats.operation_counts`; records
+        without the counter (e.g. baselines, which only report
+        ``storage_ops``) contribute zero.
+        """
+        selected = self._select(engine, shape=shape, pattern=pattern)
+        if not selected:
+            return 0.0
+        return sum(r.counters.get(name, 0) for r in selected) / len(selected)
+
+    def counter_names(self, engine: str) -> list[str]:
+        """All counter names this engine's records carry, sorted."""
+        names: set[str] = set()
+        for record in self._select(engine):
+            names.update(record.counters)
+        return sorted(names)
+
+    def operations_by_pattern(
+        self, engine: str, names: "list[str] | None" = None
+    ) -> dict[str, dict[str, float]]:
+        """Mean operation counts per pattern class for one engine.
+
+        This is the observability companion of the Fig. 8 timing
+        boxplots: for every pattern class it reports the average of
+        each named counter, so claims like "pruning suppresses wavelet
+        work on ``p*`` queries" become checkable numbers instead of
+        wall-clock anecdotes.
+        """
+        if names is None:
+            names = self.counter_names(engine)
+        table: dict[str, dict[str, float]] = {}
+        for pattern in self.patterns():
+            table[pattern] = {
+                name: self.mean_counter(engine, name, pattern=pattern)
+                for name in names
+            }
+        return table
 
     def pattern_times(self, engine: str, pattern: str) -> list[float]:
         """Clamped per-query timings for one (engine, pattern) cell."""
@@ -175,6 +226,7 @@ def run_benchmark(
                     truncated=outcome.stats.truncated,
                     n_results=len(outcome),
                     storage_ops=outcome.stats.storage_ops,
+                    counters=outcome.stats.operation_counts(),
                 )
             )
     return results

@@ -3,6 +3,7 @@
 Subcommands::
 
     ring-rpq query GRAPH.nt "(?x, p1/p2*, ?y)"    evaluate one RPQ
+    ring-rpq profile GRAPH.nt "(?x, p1+, ?y)"     per-phase cost profile
     ring-rpq match GRAPH.nt ? p ?                  triple-pattern lookup
     ring-rpq stats GRAPH.nt                        index statistics
     ring-rpq bench table1|table2|fig8 [...]        regenerate artifacts
@@ -55,6 +56,28 @@ def cmd_query(args: argparse.Namespace) -> int:
         f"{args.engine}{suffix}",
         file=sys.stderr,
     )
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import profile_query
+
+    index = _load_index(args.graph, args.symmetric)
+    report = profile_query(
+        index,
+        args.query,
+        timeout=args.timeout,
+        limit=args.limit,
+        trace_capacity=args.trace_capacity,
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format_table())
+    if args.trace is not None:
+        with open(args.trace, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"# trace written to {args.trace}", file=sys.stderr)
     return 0
 
 
@@ -135,6 +158,25 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--symmetric", nargs="*", default=[],
                    help="predicates stored bidirectionally")
     q.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "profile",
+        help="evaluate one RPQ with full metrics and print the "
+             "per-phase operation/timing table",
+    )
+    p.add_argument("graph", help="triple file (s p o per line)")
+    p.add_argument("query", help='e.g. "(?x, p1/p2*, ?y)"')
+    p.add_argument("--timeout", type=float, default=None)
+    p.add_argument("--limit", type=int, default=1_000_000)
+    p.add_argument("--symmetric", nargs="*", default=[],
+                   help="predicates stored bidirectionally")
+    p.add_argument("--json", action="store_true",
+                   help="print the full report as JSON instead of a table")
+    p.add_argument("--trace", metavar="OUT.json", default=None,
+                   help="also dump the report (with trace events) to a file")
+    p.add_argument("--trace-capacity", type=int, default=10_000,
+                   help="ring-buffer size for retained trace events")
+    p.set_defaults(func=cmd_profile)
 
     m = sub.add_parser(
         "match", help="triple-pattern lookup (use ? for wildcards)"

@@ -42,9 +42,14 @@ from repro.core.planner import choose_anchor_side
 from repro.core.query import RPQ, as_query
 from repro.core.result import QueryResult, QueryStats
 from repro.errors import QueryTimeoutError
+from repro.obs.metrics import NULL_METRICS
 
-#: How many inner-loop operations between wall-clock checks.
-_TICK_EVERY = 1024
+#: How many :meth:`_Budget.tick` calls between wall-clock checks.  The
+#: hot traversal loops already throttle their tick calls to one per 256
+#: stack pops, so the effective check window is ``256 * _TICK_EVERY``
+#: inner operations — keep this small or a mid-sized query can finish
+#: (or badly overrun its budget) without ever consulting the clock.
+_TICK_EVERY = 4
 
 
 class _Budget:
@@ -114,6 +119,7 @@ class _BackwardRun:
         self.budget = budget
         self.stats = stats
         self.prune = prune
+        self.obs = engine.metrics
         self.visited: dict[int, int] = {}
         self.vnode_visited: dict[tuple[int, int], int] = {}
         self.base_mask = 0
@@ -151,11 +157,18 @@ class _BackwardRun:
         queue.append((start_range, start_mask))
         pop = (queue.popleft if self.engine.traversal == "bfs"
                else queue.pop)
+        obs = self.obs
+        enabled = obs.enabled
+        tracing = obs.tracing
 
         while queue:
             (b_o, e_o), d = pop()
             if b_o >= e_o:
                 continue
+            if enabled:
+                obs.inc("engine.steps")
+                if tracing:
+                    obs.record("step", range=(b_o, e_o), states=d)
             done = self._expand(
                 b_o, e_o, d, queue, reported, max_reported, target
             )
@@ -195,22 +208,33 @@ class _BackwardRun:
         prune = self.prune
         c_p = ring.C_p
         levels, zeros, height, _, _, bottom_start = self.engine.lp_data
+        obs = self.obs
+        timed = obs.enabled
+        tracing = obs.tracing
+        now = time.monotonic
+        if timed:
+            t_start = now()
+            t_sub = 0.0
+        stats.lp_descents += 1
 
         stack = [(0, 0, b_o, e_o)]
         pops = 0
+        done = False
         while stack:
             pops += 1
             if not pops & 255:
                 tick()
             level, prefix, b, e = stack.pop()
             if b >= e:
+                stats.lp_empty += 1
                 continue
             stats.wavelet_nodes += 1
-            stats.storage_ops += 2
             if prune:
                 filtered = d & bv_masks.get((level, prefix), 0)
                 if filtered == 0:
+                    stats.lp_pruned += 1
                     continue
+            stats.lp_nodes += 1
             if level == height:
                 pid = prefix
                 filtered = d & b_masks.get(pid, 0)
@@ -222,15 +246,32 @@ class _BackwardRun:
                 if b_s >= e_s:
                     continue
                 stats.product_edges += 1
+                stats.backward_steps += 1
                 d_next = step_prefiltered(filtered)
                 if d_next == 0:
                     continue
-                done = self._collect_subjects(
-                    b_s, e_s, d_next, queue, reported, max_reported, target
-                )
+                if tracing:
+                    obs.record(
+                        "backward_step", pid=pid, range=(b_s, e_s),
+                        states=d_next,
+                    )
+                if timed:
+                    t0 = now()
+                    done = self._collect_subjects(
+                        b_s, e_s, d_next, queue, reported, max_reported,
+                        target,
+                    )
+                    t_sub += now() - t0
+                else:
+                    done = self._collect_subjects(
+                        b_s, e_s, d_next, queue, reported, max_reported,
+                        target,
+                    )
                 if done:
-                    return True
+                    break
             else:
+                stats.lp_children += 2
+                stats.storage_ops += 2
                 words, cum, n_bits = levels[level]
                 # rank1(b), rank1(e) inlined (BitVector fast path).
                 if b <= 0:
@@ -259,7 +300,9 @@ class _BackwardRun:
                 stack.append(
                     (next_level, prefix << 1, b - r1b, e - r1e)
                 )
-        return False
+        if timed:
+            obs.add_phase("predicates_from_objects", now() - t_start - t_sub)
+        return done
 
     def _collect_subjects(
         self,
@@ -282,45 +325,66 @@ class _BackwardRun:
         c_o = ring.C_o.fast_list() or ring.C_o
         levels, zeros, height, sigma, class_cum, _ = self.engine.ls_data
         initial_mask = GlushkovAutomaton.INITIAL_MASK
+        obs = self.obs
+        timed = obs.enabled
+        tracing = obs.tracing
+        now = time.monotonic
+        if timed:
+            t_start = now()
+            t_obj = 0.0
+        stats.ls_descents += 1
 
         stack = [(0, 0, b_s, e_s)]
         pops = 0
+        done = False
         while stack:
             pops += 1
             if not pops & 255:
                 tick()
             level, prefix, b, e = stack.pop()
             if b >= e:
+                stats.ls_empty += 1
                 continue
             stats.wavelet_nodes += 1
-            stats.storage_ops += 2
             if level == height:
                 subject = prefix
                 seen = visited.get(subject, base_mask)
                 if d_next | seen == seen:
+                    stats.ls_pruned += 1
                     continue
+                stats.ls_nodes += 1
                 d_new = d_next & ~seen
                 visited[subject] = seen | d_next
                 stats.product_nodes += 1
                 if d_new & initial_mask:
                     reported.add(subject)
+                    if tracing:
+                        obs.record("emit", subject=subject, states=d_new)
                     if target is not None and subject == target:
-                        return True
+                        done = True
+                        break
                     if (
                         max_reported is not None
                         and len(reported) >= max_reported
                     ):
                         stats.truncated = True
-                        return True
+                        done = True
+                        break
+                if timed:
+                    t0 = now()
+                stats.object_ranges += 1
                 ob = c_o[subject]
                 oe = c_o[subject + 1]
                 if ob < oe:
                     queue.append(((ob, oe), d_new))
+                if timed:
+                    t_obj += now() - t0
                 continue
             if prune:
                 key = (level, prefix)
                 seen = vnode_visited.get(key, base_mask)
                 if d_next | seen == seen:
+                    stats.ls_pruned += 1
                     continue
                 # Record the visit only when the range *covers* the node
                 # (every occurrence below it is inside the range) — the
@@ -333,6 +397,9 @@ class _BackwardRun:
                     hi = sigma
                 if class_cum[hi] - class_cum[lo] == e - b:
                     vnode_visited[key] = seen | d_next
+            stats.ls_nodes += 1
+            stats.ls_children += 2
+            stats.storage_ops += 2
             words, cum, n_bits = levels[level]
             if b <= 0:
                 r1b = 0
@@ -356,7 +423,10 @@ class _BackwardRun:
             next_level = level + 1
             stack.append((next_level, (prefix << 1) | 1, z + r1b, z + r1e))
             stack.append((next_level, prefix << 1, b - r1b, e - r1e))
-        return False
+        if timed:
+            obs.add_phase("subjects_from_predicates", now() - t_start - t_obj)
+            obs.add_phase("subjects_to_objects", t_obj)
+        return done
 
 
 class RingRPQEngine:
@@ -382,6 +452,12 @@ class RingRPQEngine:
         order in which pending (node, state-set) entries expand.  §3.2
         allows any graph search; answers are identical either way, the
         memory/locality profile differs.
+    metrics:
+        A :class:`~repro.obs.metrics.Metrics` registry receiving phase
+        timers and trace events; defaults to the no-op
+        :data:`~repro.obs.metrics.NULL_METRICS` (operation *counters*
+        always accumulate in :class:`QueryStats` regardless).  Can also
+        be supplied per call via :meth:`evaluate`.
     """
 
     name = "ring"
@@ -393,6 +469,7 @@ class RingRPQEngine:
         fast_paths: bool = True,
         use_planner: bool = True,
         traversal: str = "bfs",
+        metrics=None,
     ):
         if traversal not in ("bfs", "dfs"):
             raise ValueError("traversal must be 'bfs' or 'dfs'")
@@ -401,6 +478,7 @@ class RingRPQEngine:
         self.fast_paths = fast_paths
         self.use_planner = use_planner
         self.traversal = traversal
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         #: Node ids excluded from matching paths (see ``evaluate``).
         self._forbidden_ids: frozenset[int] = frozenset()
         self._lp_data = None
@@ -440,12 +518,14 @@ class RingRPQEngine:
         timeout: float | None = None,
         limit: int | None = None,
         forbidden_nodes: "Iterable[str] | None" = None,
+        metrics=None,
     ) -> QueryResult:
         """Evaluate an RPQ under set semantics.
 
         Returns a :class:`QueryResult` whose pairs are ``(subject,
         object)`` labels.  On timeout the partial result is returned
-        with ``stats.timed_out`` set; on hitting ``limit`` it is
+        with ``stats.timed_out`` set (the operation counters cover the
+        work done up to the deadline); on hitting ``limit`` it is
         returned with ``stats.truncated`` set.
 
         ``forbidden_nodes`` implements the §6 extension: the listed
@@ -454,12 +534,20 @@ class RingRPQEngine:
         as visited with every NFA state, exactly as the paper suggests
         ("marking the noncomplying nodes as already visited with the
         NFA states that enforce those conditions").
+
+        ``metrics`` overrides the engine's registry for this one call —
+        the ``repro profile`` command uses this to collect phase timers
+        and trace events for a single query.
         """
         rpq = as_query(query)
         stats = QueryStats()
         budget = _Budget(timeout)
         result = QueryResult(stats=stats)
         previous = self._forbidden_ids
+        previous_metrics = self.metrics
+        if metrics is not None:
+            self.metrics = metrics
+        obs = self.metrics
         if forbidden_nodes is not None:
             self._forbidden_ids = frozenset(
                 self.dictionary.node_id(label)
@@ -467,12 +555,19 @@ class RingRPQEngine:
                 if self.dictionary.has_node(label)
             )
         try:
+            if obs.enabled:
+                obs.inc("engine.queries")
+                if obs.tracing:
+                    obs.record("query", query=str(rpq), shape=rpq.shape())
             self._dispatch(rpq, budget, limit, result)
         except QueryTimeoutError:
             stats.timed_out = True
         finally:
             self._forbidden_ids = previous
+            self.metrics = previous_metrics
         stats.elapsed = budget.elapsed()
+        if obs.enabled:
+            obs.add_phase("total", stats.elapsed)
         return result
 
     def explain(self, query: RPQ | str) -> dict:
@@ -792,6 +887,8 @@ class RingRPQEngine:
             ob, oe = ring.object_range(subject)
             bs, es = ring.backward_step(ob, oe, inv)
             result.stats.product_edges += 1
+            result.stats.backward_steps += 1
+            result.stats.object_ranges += 1
             result.stats.storage_ops += 3 * height
             for obj, _, _ in ring.L_s.range_distinct(bs, es):
                 result.pairs.add(
@@ -824,6 +921,8 @@ class RingRPQEngine:
             budget.tick()
             result.stats.storage_ops += 4 * height
             ob, oe = ring.object_range(mid)
+            result.stats.object_ranges += 1
+            result.stats.backward_steps += 2
             sb, se = ring.backward_step(ob, oe, p1)
             subjects = [
                 dictionary.node_label(s)

@@ -13,6 +13,17 @@ from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 
+#: The three parts of one NFA step (§4.1–§4.3), in evaluation order.
+#: These are the keys of :meth:`QueryStats.phase_breakdown` and the
+#: phase-timer names the engine reports to a
+#: :class:`~repro.obs.metrics.Metrics` registry.
+ENGINE_PHASES = (
+    "predicates_from_objects",
+    "subjects_from_predicates",
+    "subjects_to_objects",
+)
+
+
 @dataclass
 class QueryStats:
     """Counters collected while evaluating one query."""
@@ -45,6 +56,109 @@ class QueryStats:
     #: operations far more than dict lookups), so the benchmark
     #: harness reports this metric alongside the timings.
     storage_ops: int = 0
+
+    # -- §4.1: predicates-from-objects (L_p descent) -------------------
+    #: L_p descents started (one per pending (range, states) step).
+    lp_descents: int = 0
+    #: L_p wavelet nodes *expanded* (survived the B[v] mask).
+    lp_nodes: int = 0
+    #: L_p wavelet nodes pruned because ``D & B[v] == 0``.
+    lp_pruned: int = 0
+    #: L_p child entries popped with an empty position range.
+    lp_empty: int = 0
+    #: L_p child entries pushed (two per expanded internal node; each
+    #: internal expansion performs exactly two inlined rank operations,
+    #: so this doubles as the phase's rank-op count).
+    lp_children: int = 0
+
+    # -- §4.2: subjects-from-predicates (L_s descent) ------------------
+    #: L_s descents started (one per accepted predicate leaf).
+    ls_descents: int = 0
+    #: L_s wavelet nodes expanded (not suppressed by the D masks).
+    ls_nodes: int = 0
+    #: L_s nodes suppressed by the D[v]/D visited masks (internal nodes
+    #: whose subtree was already visited with every state of the step,
+    #: plus leaves whose subject was).
+    ls_pruned: int = 0
+    #: L_s child entries popped with an empty position range.
+    ls_empty: int = 0
+    #: L_s child entries pushed (= two inlined ranks per expansion).
+    ls_children: int = 0
+    #: Backward-search steps (Eqs. 4–5): predicate-leaf to L_s-range
+    #: maps, plus explicit :meth:`Ring.backward_step` calls of the §5
+    #: fast paths.
+    backward_steps: int = 0
+
+    # -- §4.3: subjects-to-objects (C_o mapping) -----------------------
+    #: Object ranges fetched from ``C_o`` to continue the traversal.
+    object_ranges: int = 0
+
+    def operation_counts(self) -> dict[str, int]:
+        """The flat operation counters, by name.
+
+        The benchmark runner records this dict per query so operation
+        counts can be aggregated per pattern class; booleans, timings
+        and automaton-shape fields are deliberately excluded.
+        """
+        return {
+            "storage_ops": self.storage_ops,
+            "wavelet_nodes": self.wavelet_nodes,
+            "product_nodes": self.product_nodes,
+            "product_edges": self.product_edges,
+            "lp_descents": self.lp_descents,
+            "lp_nodes": self.lp_nodes,
+            "lp_pruned": self.lp_pruned,
+            "lp_empty": self.lp_empty,
+            "lp_children": self.lp_children,
+            "ls_descents": self.ls_descents,
+            "ls_nodes": self.ls_nodes,
+            "ls_pruned": self.ls_pruned,
+            "ls_empty": self.ls_empty,
+            "ls_children": self.ls_children,
+            "backward_steps": self.backward_steps,
+            "object_ranges": self.object_ranges,
+            "subqueries": self.subqueries,
+            # derived: the engine's inlined descents perform exactly two
+            # level-bitvector ranks per expanded internal node
+            "rank_ops": self.lp_children + self.ls_children,
+        }
+
+    def phase_breakdown(
+        self, phase_seconds: "dict[str, float] | None" = None
+    ) -> dict[str, dict[str, float]]:
+        """Structured per-phase view of the §4.1–§4.3 counters.
+
+        ``phase_seconds`` (usually
+        :attr:`repro.obs.metrics.Metrics.phase_seconds` of a profiled
+        run) contributes each phase's ``seconds`` entry; without it the
+        timings are reported as 0.0 — counters are always collected,
+        timers only under an enabled metrics registry.
+        """
+        seconds = phase_seconds or {}
+        return {
+            "predicates_from_objects": {
+                "seconds": seconds.get("predicates_from_objects", 0.0),
+                "descents": self.lp_descents,
+                "nodes_visited": self.lp_nodes,
+                "nodes_pruned": self.lp_pruned,
+                "empty_ranges": self.lp_empty,
+                "rank_ops": self.lp_children,
+            },
+            "subjects_from_predicates": {
+                "seconds": seconds.get("subjects_from_predicates", 0.0),
+                "descents": self.ls_descents,
+                "nodes_visited": self.ls_nodes,
+                "nodes_pruned": self.ls_pruned,
+                "empty_ranges": self.ls_empty,
+                "rank_ops": self.ls_children,
+                "backward_steps": self.backward_steps,
+            },
+            "subjects_to_objects": {
+                "seconds": seconds.get("subjects_to_objects", 0.0),
+                "object_ranges": self.object_ranges,
+                "product_nodes": self.product_nodes,
+            },
+        }
 
     def working_set_bits(self) -> int:
         """Estimate of the §5 query-time working space in bits.

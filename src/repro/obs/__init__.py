@@ -1,0 +1,47 @@
+"""Observability: operation counters, phase timers and trace hooks.
+
+The paper argues about *where time goes* — wavelet nodes pruned by the
+automaton's ``B[v]``/``D[v]`` masks versus backward-search steps — so
+this subpackage makes that accounting first-class:
+
+* :mod:`repro.obs.metrics` — the :class:`Metrics` registry (named
+  counters, per-phase seconds, a bounded trace-event ring buffer and
+  callback hooks) and the no-op default :data:`NULL_METRICS`;
+* :mod:`repro.obs.instrument` — zero-default-overhead instrumentation
+  of the succinct layer by swapping live instances to counting
+  subclasses (``BitVector.rank/select``, ``WaveletMatrix`` node and
+  range operations, ``Ring.backward_step``);
+* :mod:`repro.obs.profile` — :func:`profile_query` /
+  :class:`ProfileReport`, the machinery behind ``repro profile``.
+
+Operation *counters* of the engine itself (nodes visited vs pruned per
+§4.1–§4.3 phase) live in :class:`repro.core.result.QueryStats` and are
+always collected; this package adds the timers, traces and
+structure-level call counts that are too costly to leave always-on.
+"""
+
+from repro.obs.instrument import (
+    CountingBitVector,
+    CountingWaveletMatrix,
+    instrument_bitvector,
+    instrument_index,
+    instrument_matrix,
+    instrument_ring,
+)
+from repro.obs.metrics import NULL_METRICS, Metrics, NullMetrics, TraceEvent
+from repro.obs.profile import ProfileReport, profile_query
+
+__all__ = [
+    "CountingBitVector",
+    "CountingWaveletMatrix",
+    "Metrics",
+    "NULL_METRICS",
+    "NullMetrics",
+    "ProfileReport",
+    "TraceEvent",
+    "instrument_bitvector",
+    "instrument_index",
+    "instrument_matrix",
+    "instrument_ring",
+    "profile_query",
+]

@@ -1,0 +1,266 @@
+"""The metrics registry: counters, phase timers and trace events.
+
+The paper's cost arguments are stated in *index operations* — wavelet
+nodes visited, rank calls, backward-search steps — not in wall-clock
+time (§4.5; likewise the ring paper, arXiv:2111.04556, accounts cost
+per succinct-structure operation).  :class:`Metrics` makes that
+accounting observable: a flat named-counter table, per-phase elapsed
+seconds, and an optional *bounded* ring buffer of trace events plus
+callback hooks for streaming consumers.
+
+Everything defaults to :data:`NULL_METRICS`, a no-op sink whose
+``enabled`` flag is ``False``; hot paths hoist that flag into a local
+and skip all metric work, so the disabled cost is one attribute load
+per coarse-grained call, never per elementary operation.  The succinct
+structures are not instrumented at all by default — see
+:mod:`repro.obs.instrument` for the opt-in class-swap scheme.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from collections.abc import Callable, Iterator
+
+
+class TraceEvent:
+    """One timestamped trace record.
+
+    ``t`` is a :func:`time.monotonic` timestamp (comparable within one
+    process only), ``kind`` a short event name (see
+    ``docs/observability.md`` for the emitted vocabulary) and ``data``
+    a small dict of event fields.
+    """
+
+    __slots__ = ("t", "kind", "data")
+
+    def __init__(self, t: float, kind: str, data: dict):
+        self.t = t
+        self.kind = kind
+        self.data = data
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {"t": self.t, "kind": self.kind, **self.data}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceEvent({self.kind!r}, t={self.t:.6f}, {self.data!r})"
+
+
+class _PhaseTimer:
+    """Context manager accumulating elapsed seconds into one phase."""
+
+    __slots__ = ("_metrics", "_name", "_start")
+
+    def __init__(self, metrics: "Metrics", name: str):
+        self._metrics = metrics
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._start = time.monotonic()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._metrics.add_phase(self._name, time.monotonic() - self._start)
+
+
+class Metrics:
+    """A mutable registry of counters, phase timers and trace events.
+
+    Parameters
+    ----------
+    trace_capacity:
+        Maximum number of retained trace events.  ``0`` (the default)
+        disables the buffer entirely; a positive value keeps the *last*
+        ``trace_capacity`` events (ring-buffer semantics), bounding the
+        memory of even a pathological query.
+
+    Notes
+    -----
+    One ``Metrics`` instance is not thread-safe; give each evaluation
+    thread its own registry and merge afterwards with :meth:`merge`.
+    """
+
+    #: Hot paths test this flag (hoisted into a local) before doing any
+    #: metric work; the null sink sets it to False.
+    enabled = True
+
+    __slots__ = ("counters", "phase_seconds", "trace", "_hooks")
+
+    def __init__(self, trace_capacity: int = 0):
+        self.counters: dict[str, int] = {}
+        self.phase_seconds: dict[str, float] = {}
+        self.trace: deque[TraceEvent] | None = (
+            deque(maxlen=trace_capacity) if trace_capacity > 0 else None
+        )
+        self._hooks: list[Callable[[TraceEvent], None]] = []
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at 0)."""
+        counters = self.counters
+        counters[name] = counters.get(name, 0) + n
+
+    def count(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        return self.counters.get(name, 0)
+
+    # ------------------------------------------------------------------
+    # Phase timers
+    # ------------------------------------------------------------------
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into phase ``name``."""
+        phases = self.phase_seconds
+        phases[name] = phases.get(name, 0.0) + seconds
+
+    def phase(self, name: str) -> _PhaseTimer:
+        """Context manager timing a block into phase ``name``::
+
+            with metrics.phase("build"):
+                ...
+        """
+        return _PhaseTimer(self, name)
+
+    # ------------------------------------------------------------------
+    # Trace events
+    # ------------------------------------------------------------------
+
+    @property
+    def tracing(self) -> bool:
+        """True when trace events have at least one consumer."""
+        return self.trace is not None or bool(self._hooks)
+
+    def record(self, kind: str, **data) -> None:
+        """Emit one trace event to the ring buffer and all hooks.
+
+        A no-op (beyond building nothing) when :attr:`tracing` is
+        False, but callers on hot paths should check ``tracing``
+        themselves to skip the keyword packing too.
+        """
+        if self.trace is None and not self._hooks:
+            return
+        event = TraceEvent(time.monotonic(), kind, data)
+        if self.trace is not None:
+            self.trace.append(event)
+        for hook in self._hooks:
+            hook(event)
+
+    def add_hook(self, hook: Callable[[TraceEvent], None]) -> None:
+        """Register a callback invoked synchronously on every event."""
+        self._hooks.append(hook)
+
+    def remove_hook(self, hook: Callable[[TraceEvent], None]) -> None:
+        """Unregister a previously added callback."""
+        self._hooks.remove(hook)
+
+    def trace_events(self) -> Iterator[TraceEvent]:
+        """The retained trace events, oldest first."""
+        return iter(self.trace or ())
+
+    # ------------------------------------------------------------------
+    # Aggregation / export
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "Metrics") -> None:
+        """Fold another registry's counters and phases into this one."""
+        for name, value in other.counters.items():
+            self.inc(name, value)
+        for name, seconds in other.phase_seconds.items():
+            self.add_phase(name, seconds)
+
+    def reset(self) -> None:
+        """Clear counters, phases and the trace buffer (hooks stay)."""
+        self.counters.clear()
+        self.phase_seconds.clear()
+        if self.trace is not None:
+            self.trace.clear()
+
+    def snapshot(self) -> dict:
+        """Plain-dict view: counters, phase seconds and trace events."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "phase_seconds": dict(sorted(self.phase_seconds.items())),
+            "trace": [e.to_dict() for e in self.trace_events()],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The :meth:`snapshot` as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Metrics(counters={len(self.counters)}, "
+            f"phases={len(self.phase_seconds)}, "
+            f"trace={len(self.trace) if self.trace is not None else 'off'})"
+        )
+
+
+class _NullPhaseTimer:
+    """Shared do-nothing context manager for the null sink."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhaseTimer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_TIMER = _NullPhaseTimer()
+
+
+class NullMetrics:
+    """The default no-op sink; every method discards its input.
+
+    ``enabled`` and ``tracing`` are plain ``False`` class attributes so
+    guarded hot paths pay only the attribute load.  All instances are
+    interchangeable; use the module-level :data:`NULL_METRICS`.
+    """
+
+    enabled = False
+    tracing = False
+
+    __slots__ = ()
+
+    def inc(self, name: str, n: int = 1) -> None:
+        return None
+
+    def count(self, name: str) -> int:
+        return 0
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        return None
+
+    def phase(self, name: str) -> _NullPhaseTimer:
+        return _NULL_TIMER
+
+    def record(self, kind: str, **data) -> None:
+        return None
+
+    def trace_events(self) -> Iterator[TraceEvent]:
+        return iter(())
+
+    @property
+    def counters(self) -> dict[str, int]:
+        return {}
+
+    @property
+    def phase_seconds(self) -> dict[str, float]:
+        return {}
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "phase_seconds": {}, "trace": []}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NULL_METRICS"
+
+
+#: The process-wide default sink.
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,162 @@
+"""One-query profiling: run, instrument, and report per-phase cost.
+
+:func:`profile_query` is the programmatic face of the ``repro profile``
+CLI command: it evaluates one RPQ on the ring engine with a live
+:class:`~repro.obs.metrics.Metrics` registry and the succinct layer
+instrumented (see :mod:`repro.obs.instrument`), and returns a
+:class:`ProfileReport` that can render the per-phase table or dump the
+whole run — counters, phase seconds, trace events — as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.core.query import as_query
+from repro.core.result import ENGINE_PHASES, QueryResult, QueryStats
+from repro.obs.instrument import instrument_index
+from repro.obs.metrics import Metrics
+
+#: Column order of the per-phase table; absent entries render as "-".
+_PHASE_COLUMNS = (
+    "seconds",
+    "descents",
+    "nodes_visited",
+    "nodes_pruned",
+    "empty_ranges",
+    "rank_ops",
+    "backward_steps",
+    "object_ranges",
+    "product_nodes",
+)
+
+
+@dataclass
+class ProfileReport:
+    """Everything one profiled evaluation produced."""
+
+    query: str
+    shape: str
+    result: QueryResult
+    metrics: Metrics
+
+    @property
+    def stats(self) -> QueryStats:
+        """The evaluation's counter record."""
+        return self.result.stats
+
+    def breakdown(self) -> dict[str, dict[str, float]]:
+        """Per-phase counters merged with the measured phase seconds."""
+        return self.stats.phase_breakdown(self.metrics.phase_seconds)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def format_table(self) -> str:
+        """The human-readable profile: header, phase table, index ops."""
+        stats = self.stats
+        flags = []
+        if stats.timed_out:
+            flags.append("TIMEOUT")
+        if stats.truncated:
+            flags.append("TRUNCATED")
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        lines = [
+            f"query   : {self.query}",
+            f"shape   : {self.shape}",
+            f"results : {len(self.result)} in {stats.elapsed:.4f}s{suffix}",
+            "",
+        ]
+
+        breakdown = self.breakdown()
+        header = ["phase", *_PHASE_COLUMNS]
+        rows = [header]
+        for phase in ENGINE_PHASES:
+            cells = breakdown.get(phase, {})
+            row = [phase]
+            for column in _PHASE_COLUMNS:
+                value = cells.get(column)
+                if value is None:
+                    row.append("-")
+                elif column == "seconds":
+                    row.append(f"{value:.4f}")
+                else:
+                    row.append(str(value))
+            rows.append(row)
+        widths = [
+            max(len(row[i]) for row in rows) for i in range(len(header))
+        ]
+        for row in rows:
+            lines.append(
+                "  ".join(
+                    cell.ljust(w) if i == 0 else cell.rjust(w)
+                    for i, (cell, w) in enumerate(zip(row, widths))
+                ).rstrip()
+            )
+
+        lines.append("")
+        lines.append(f"storage ops   : {stats.storage_ops}")
+        lines.append(f"wavelet nodes : {stats.wavelet_nodes}")
+        lines.append(
+            f"working set   : {stats.working_set_bits()} bits"
+        )
+        counters = self.metrics.counters
+        if counters:
+            lines.append("")
+            lines.append("index operations:")
+            width = max(len(name) for name in counters)
+            for name in sorted(counters):
+                lines.append(f"  {name.ljust(width)}  {counters[name]}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dump: query, phases, counters, trace events."""
+        stats = self.stats
+        return {
+            "query": self.query,
+            "shape": self.shape,
+            "n_results": len(self.result),
+            "elapsed": stats.elapsed,
+            "timed_out": stats.timed_out,
+            "truncated": stats.truncated,
+            "phases": self.breakdown(),
+            "operation_counts": stats.operation_counts(),
+            "index_operations": dict(sorted(self.metrics.counters.items())),
+            "trace": [e.to_dict() for e in self.metrics.trace_events()],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def profile_query(
+    index,
+    query,
+    timeout: float | None = None,
+    limit: int | None = None,
+    trace_capacity: int = 0,
+    metrics: Metrics | None = None,
+) -> ProfileReport:
+    """Evaluate ``query`` on ``index``'s ring engine under full metrics.
+
+    The index's succinct structures are instrumented for the duration
+    of the call (and restored afterwards), the engine runs with phase
+    timers on, and — when ``trace_capacity`` is positive — the last
+    that-many trace events are retained for :meth:`ProfileReport.to_dict`.
+
+    Pass an existing ``metrics`` registry to accumulate several queries
+    into one; by default each call gets a fresh one.
+    """
+    rpq = as_query(query)
+    obs = metrics if metrics is not None else Metrics(
+        trace_capacity=trace_capacity
+    )
+    with instrument_index(index, obs):
+        result = index.engine.evaluate(
+            rpq, timeout=timeout, limit=limit, metrics=obs
+        )
+    return ProfileReport(
+        query=str(rpq), shape=rpq.shape(), result=result, metrics=obs
+    )

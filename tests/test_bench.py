@@ -177,6 +177,19 @@ class TestRunnerAndStats:
         assert results.mean_storage_ops("ring") > 0
         assert results.mean_storage_ops("ring", "c-to-v") >= 0
 
+    def test_counter_aggregation(self, results):
+        names = results.counter_names("ring")
+        assert "storage_ops" in names and "wavelet_nodes" in names
+        assert results.mean_counter("ring", "storage_ops") == \
+            results.mean_storage_ops("ring")
+        # a counter nobody recorded averages to zero, not KeyError
+        assert results.mean_counter("ring", "no_such_counter") == 0.0
+        table = results.operations_by_pattern("ring")
+        assert set(table) == set(results.patterns())
+        for row in table.values():
+            assert set(row) == set(names)
+            assert all(v >= 0 for v in row.values())
+
     def test_boxplot_render(self, results):
         text = render_pattern_boxplots(results)
         assert "pattern:" in text

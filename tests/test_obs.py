@@ -1,0 +1,392 @@
+"""Tests for the observability layer: metrics, instrumentation, profiling.
+
+Three layers of guarantees:
+
+* the :class:`~repro.obs.metrics.Metrics` registry itself (counters,
+  phase timers, bounded trace ring buffer, hooks, null sink);
+* the engine's per-phase operation counters, including the bucket
+  invariant *visited + pruned + empty = descents + children* per
+  wavelet descent and ``pruned > 0`` on selective queries;
+* the class-swap instrumentation and :func:`profile_query`, including
+  the ``_Budget.tick`` timeout regression (partial stats must carry the
+  counters accumulated before the deadline).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+import repro.core.engine as engine_mod
+from repro.core.engine import RingRPQEngine, _Budget
+from repro.core.result import ENGINE_PHASES, QueryStats
+from repro.errors import QueryTimeoutError
+from repro.obs import (
+    CountingBitVector,
+    CountingWaveletMatrix,
+    Metrics,
+    NullMetrics,
+    instrument_bitvector,
+    instrument_index,
+    instrument_matrix,
+    instrument_ring,
+    profile_query,
+)
+from repro.obs.metrics import NULL_METRICS
+from repro.succinct.bitvector import BitVector
+from repro.succinct.wavelet_matrix import WaveletMatrix
+from repro.testing import random_query
+
+
+# ----------------------------------------------------------------------
+# The Metrics registry
+# ----------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counters(self):
+        m = Metrics()
+        assert m.count("x") == 0
+        m.inc("x")
+        m.inc("x", 4)
+        assert m.count("x") == 5
+        assert m.counters == {"x": 5}
+
+    def test_phase_timer_accumulates(self):
+        m = Metrics()
+        with m.phase("build"):
+            pass
+        with m.phase("build"):
+            pass
+        assert m.phase_seconds["build"] >= 0.0
+        m.add_phase("build", 1.0)
+        assert m.phase_seconds["build"] >= 1.0
+
+    def test_trace_buffer_is_bounded(self):
+        m = Metrics(trace_capacity=3)
+        assert m.tracing
+        for i in range(7):
+            m.record("step", i=i)
+        events = list(m.trace_events())
+        assert [e.data["i"] for e in events] == [4, 5, 6]
+        assert all(e.kind == "step" for e in events)
+
+    def test_tracing_off_by_default(self):
+        m = Metrics()
+        assert not m.tracing
+        m.record("ignored")  # no consumer: must be a silent no-op
+        assert list(m.trace_events()) == []
+
+    def test_hooks(self):
+        m = Metrics()
+        seen = []
+        m.add_hook(seen.append)
+        assert m.tracing
+        m.record("evt", a=1)
+        assert len(seen) == 1 and seen[0].data == {"a": 1}
+        m.remove_hook(seen.append)
+        assert not m.tracing
+
+    def test_event_to_dict(self):
+        m = Metrics(trace_capacity=1)
+        m.record("evt", node=3)
+        (event,) = m.trace_events()
+        d = event.to_dict()
+        assert d["kind"] == "evt" and d["node"] == 3 and "t" in d
+
+    def test_merge_and_reset(self):
+        a, b = Metrics(), Metrics()
+        a.inc("x", 2)
+        b.inc("x", 3)
+        b.add_phase("p", 0.5)
+        a.merge(b)
+        assert a.count("x") == 5
+        assert a.phase_seconds["p"] == 0.5
+        a.reset()
+        assert a.counters == {} and a.phase_seconds == {}
+
+    def test_snapshot_json_round_trips(self):
+        m = Metrics(trace_capacity=2)
+        m.inc("ops")
+        m.add_phase("total", 0.1)
+        m.record("evt", k=1)
+        snap = json.loads(m.to_json())
+        assert snap["counters"] == {"ops": 1}
+        assert snap["phase_seconds"] == {"total": 0.1}
+        assert snap["trace"][0]["kind"] == "evt"
+
+    def test_null_metrics_is_inert(self):
+        n = NULL_METRICS
+        assert isinstance(n, NullMetrics)
+        assert not n.enabled and not n.tracing
+        n.inc("x", 10)
+        n.add_phase("p", 1.0)
+        n.record("evt", a=1)
+        with n.phase("p"):
+            pass
+        assert n.count("x") == 0
+        assert n.counters == {} and n.phase_seconds == {}
+        assert list(n.trace_events()) == []
+        assert n.snapshot() == {
+            "counters": {}, "phase_seconds": {}, "trace": []
+        }
+
+
+# ----------------------------------------------------------------------
+# Engine operation counters: pruning and bucket invariants
+# ----------------------------------------------------------------------
+
+
+def _assert_bucket_invariants(stats: QueryStats, query) -> None:
+    """Every popped wavelet node lands in exactly one bucket, and the
+    popped count is the initial descents plus all pushed children."""
+    assert stats.lp_nodes + stats.lp_pruned + stats.lp_empty == \
+        stats.lp_descents + stats.lp_children, str(query)
+    assert stats.ls_nodes + stats.ls_pruned + stats.ls_empty == \
+        stats.ls_descents + stats.ls_children, str(query)
+
+
+class TestEngineCounters:
+    def test_pruned_positive_on_selective_query(self, kg_index):
+        """A single-predicate closure over a 12-predicate alphabet must
+        prune L_p subtrees via the B[v] masks."""
+        engine = RingRPQEngine(kg_index, fast_paths=False)
+        stats = engine.evaluate("(?x, p0+, ?y)").stats
+        assert stats.lp_pruned > 0
+        assert stats.lp_nodes > 0
+        assert stats.backward_steps > 0
+        _assert_bucket_invariants(stats, "(?x, p0+, ?y)")
+
+    def test_no_pruning_when_disabled(self, kg_index):
+        engine = RingRPQEngine(kg_index, prune=False, fast_paths=False)
+        stats = engine.evaluate("(?x, p0+, ?y)").stats
+        assert stats.lp_pruned == 0
+
+    def test_invariants_on_random_queries(self, kg_graph, kg_index):
+        rng = random.Random(11)
+        engine = RingRPQEngine(kg_index, fast_paths=False)
+        for _ in range(15):
+            query = random_query(rng, kg_graph)
+            stats = engine.evaluate(query, timeout=30).stats
+            _assert_bucket_invariants(stats, query)
+            counts = stats.operation_counts()
+            assert counts["wavelet_nodes"] == \
+                stats.lp_nodes + stats.lp_pruned + stats.ls_nodes + \
+                stats.ls_pruned
+            # two inlined ranks per expanded internal node
+            assert counts["rank_ops"] == \
+                stats.lp_children + stats.ls_children
+
+    def test_results_identical_with_metrics_enabled(self, kg_index):
+        query = "(?x, (p0|p1)+, ?y)"
+        plain = kg_index.engine.evaluate(query)
+        profiled = kg_index.engine.evaluate(
+            query, metrics=Metrics(trace_capacity=100)
+        )
+        assert plain.pairs == profiled.pairs
+
+    def test_per_call_metrics_override_is_restored(self, small_index):
+        engine = RingRPQEngine(small_index)
+        assert engine.metrics is NULL_METRICS
+        m = Metrics()
+        engine.evaluate("(?x, p0, ?y)", metrics=m)
+        assert engine.metrics is NULL_METRICS
+        assert m.count("engine.queries") == 1
+        assert "total" in m.phase_seconds
+
+
+# ----------------------------------------------------------------------
+# Class-swap instrumentation
+# ----------------------------------------------------------------------
+
+
+class TestInstrumentation:
+    def test_bitvector_counts_and_restores(self):
+        bv = BitVector([1, 0, 1, 1, 0, 1])
+        m = Metrics()
+        with instrument_bitvector(bv, m):
+            assert type(bv) is CountingBitVector
+            bv.rank1(4)
+            bv.rank0(4)  # delegates to rank1: counts one more rank
+            bv.select1(2)
+            bv.select0(1)
+        assert type(bv) is BitVector
+        assert m.count("bitvector.rank") == 2
+        assert m.count("bitvector.select") == 2
+
+    def test_matrix_counts_and_restores(self):
+        wm = WaveletMatrix([3, 1, 4, 1, 5, 2, 0, 5], 6)
+        plain = list(wm.range_distinct(0, 8))
+        m = Metrics()
+        with instrument_matrix(wm, m):
+            assert type(wm) is CountingWaveletMatrix
+            assert list(wm.range_distinct(0, 8)) == plain
+            wm.rank(1, 5)
+            wm.rank_pair(5, 0, 8)
+        assert type(wm) is WaveletMatrix
+        assert all(type(bv) is BitVector for bv in wm._levels)
+        assert m.count("wavelet.range_distinct") == 1
+        assert m.count("wavelet.rank") == 1
+        assert m.count("wavelet.rank_pair") == 1
+        assert m.count("wavelet.node") > 0
+
+    def test_second_registry_is_rejected(self):
+        wm = WaveletMatrix([0, 1], 2)
+        other = WaveletMatrix([1, 0], 2)
+        with instrument_matrix(wm, Metrics()):
+            with pytest.raises(RuntimeError):
+                with instrument_matrix(other, Metrics()):
+                    pass  # pragma: no cover
+        # and the failed claim must not have poisoned the sink
+        assert CountingWaveletMatrix._obs is NULL_METRICS
+
+    def test_nesting_same_registry_is_fine(self):
+        wm = WaveletMatrix([0, 1, 1], 2)
+        m = Metrics()
+        with instrument_matrix(wm, m):
+            with instrument_matrix(wm, m):
+                wm.rank(1, 3)
+            # inner exit must not disconnect the outer instrumentation
+            wm.rank(0, 3)
+        assert m.count("wavelet.rank") == 2
+        assert CountingWaveletMatrix._obs is NULL_METRICS
+
+    def test_ring_wrapper_counts_and_restores(self, small_index):
+        ring = small_index.ring
+        m = Metrics()
+        b, e = ring.full_range()
+        with instrument_ring(ring, m):
+            ring.backward_step(b, e, 1)
+        assert "backward_step" not in ring.__dict__
+        assert m.count("ring.backward_step") == 1
+
+    def test_instrument_index_restores_everything(self, small_index):
+        ring = small_index.ring
+        with instrument_index(small_index, Metrics()):
+            assert type(ring.L_p) is CountingWaveletMatrix
+            assert type(ring.L_s) is CountingWaveletMatrix
+        assert type(ring.L_p) is WaveletMatrix
+        assert type(ring.L_s) is WaveletMatrix
+        assert "backward_step" not in ring.__dict__
+        assert CountingWaveletMatrix._obs is NULL_METRICS
+        assert CountingBitVector._obs is NULL_METRICS
+
+
+# ----------------------------------------------------------------------
+# profile_query / ProfileReport
+# ----------------------------------------------------------------------
+
+
+class TestProfileQuery:
+    @pytest.mark.parametrize("query,shape", [
+        ("(?x, (p0|p1)+, ?y)", "vv"),   # v-to-v
+        ("(?x, p0+, n0)", "vc"),        # c-to-v
+    ])
+    def test_nonzero_consistent_phase_counters(self, kg_index, query,
+                                               shape):
+        report = profile_query(kg_index, query, trace_capacity=500)
+        assert report.shape == shape
+        stats = report.stats
+        assert len(report.result) > 0
+        assert stats.lp_nodes > 0 and stats.lp_pruned > 0
+        assert stats.backward_steps > 0
+        _assert_bucket_invariants(stats, query)
+        # the inlined descents account their rank work arithmetically
+        assert stats.operation_counts()["rank_ops"] == \
+            stats.lp_children + stats.ls_children > 0
+        # phase timers measured for the engine phases that ran
+        assert report.metrics.phase_seconds["total"] > 0.0
+        breakdown = report.breakdown()
+        assert set(breakdown) == set(ENGINE_PHASES)
+        assert breakdown["predicates_from_objects"]["nodes_visited"] == \
+            stats.lp_nodes
+        assert breakdown["subjects_from_predicates"]["nodes_pruned"] == \
+            stats.ls_pruned
+
+    def test_fast_path_hits_method_level_counters(self, kg_index):
+        """The §5 fast paths go through the succinct structures' method
+        APIs, so the class-swap instrumentation sees their rank/select
+        and backward-step calls directly."""
+        report = profile_query(kg_index, "(?x, p0, ?y)")
+        assert len(report.result) > 0
+        assert report.metrics.count("ring.backward_step") > 0
+        assert report.metrics.count("wavelet.range_distinct") > 0
+        assert report.metrics.count("bitvector.rank") > 0
+        assert report.stats.backward_steps > 0
+
+    def test_format_table_and_json(self, kg_index):
+        report = profile_query(
+            kg_index, "(?x, p0+, ?y)", trace_capacity=50
+        )
+        table = report.format_table()
+        for phase in ENGINE_PHASES:
+            assert phase in table
+        assert "storage ops" in table
+        dump = json.loads(report.to_json())
+        assert dump["query"] == "(?x, p0+, ?y)"
+        assert dump["operation_counts"]["backward_steps"] > 0
+        assert len(dump["trace"]) > 0
+        kinds = {event["kind"] for event in dump["trace"]}
+        assert "query" in kinds or "step" in kinds
+
+    def test_accumulating_registry(self, small_index):
+        m = Metrics()
+        profile_query(small_index, "(?x, p0, ?y)", metrics=m)
+        profile_query(small_index, "(?x, p1, ?y)", metrics=m)
+        assert m.count("engine.queries") == 2
+
+
+# ----------------------------------------------------------------------
+# _Budget.tick regression
+# ----------------------------------------------------------------------
+
+
+class TestBudgetTick:
+    def test_expired_budget_raises_within_one_window(self, monkeypatch):
+        monkeypatch.setattr(engine_mod, "_TICK_EVERY", 4)
+        budget = _Budget(timeout=0.0)
+        with pytest.raises(QueryTimeoutError):
+            for _ in range(4):
+                budget.tick()
+
+    def test_unlimited_budget_never_raises(self, monkeypatch):
+        monkeypatch.setattr(engine_mod, "_TICK_EVERY", 1)
+        budget = _Budget(timeout=None)
+        for _ in range(100):
+            budget.tick()
+
+    def test_timeout_error_carries_elapsed_and_budget(self, monkeypatch):
+        monkeypatch.setattr(engine_mod, "_TICK_EVERY", 1)
+        budget = _Budget(timeout=0.0)
+        with pytest.raises(QueryTimeoutError) as info:
+            budget.tick()
+        assert info.value.budget == 0.0
+        assert info.value.elapsed >= 0.0
+
+    def test_default_cadence_enforces_timeout(self, kg_index):
+        """With the *default* ``_TICK_EVERY``, a query whose budget is
+        already spent must still notice: the tick throttles compound
+        (one tick per 256 pops, one clock read per ``_TICK_EVERY``
+        ticks), and an overlarge constant silently disables timeouts
+        for every query smaller than the combined window."""
+        engine = RingRPQEngine(kg_index, fast_paths=False)
+        result = engine.evaluate("(?x, (p0|p1|p2)+, ?y)", timeout=0.0)
+        assert result.stats.timed_out
+
+    def test_partial_stats_carry_counters_on_timeout(self, kg_index,
+                                                     monkeypatch):
+        """An expired evaluation must return (not raise) with
+        ``timed_out`` set and the phase counters accumulated up to the
+        deadline — the profile of a timed-out query is exactly what one
+        needs to see to understand the timeout."""
+        monkeypatch.setattr(engine_mod, "_TICK_EVERY", 64)
+        engine = RingRPQEngine(kg_index, fast_paths=False)
+        result = engine.evaluate("(?x, (p0|p1)+, ?y)", timeout=0.0)
+        stats = result.stats
+        assert stats.timed_out
+        assert not stats.truncated
+        counts = stats.operation_counts()
+        assert sum(counts.values()) > 0
+        _assert_bucket_invariants(stats, "(?x, (p0|p1)+, ?y)")

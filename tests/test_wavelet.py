@@ -235,6 +235,7 @@ class TestMatrixSpecific:
         assert wm.root(0, 3).node_id == (0, 0)
 
 
+@pytest.mark.hypothesis
 @settings(max_examples=40, deadline=None)
 @given(
     data=st.data(),
@@ -256,3 +257,44 @@ def test_matrix_matches_tree(data, sigma):
     if seq.count(c):
         j = data.draw(st.integers(min_value=0, max_value=seq.count(c) - 1))
         assert wm.select(c, j) == wt.select(c, j)
+
+
+@pytest.mark.hypothesis
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.data(),
+    sigma=st.integers(min_value=1, max_value=24),
+)
+def test_matrix_ranges_match_tree_under_instrumentation(data, sigma):
+    """``range_distinct``/``range_intersect`` agree with the pointer
+    tree, with the metrics class-swap both off and on — instrumentation
+    must never change results, only count them."""
+    from repro.obs import Metrics, instrument_matrix
+
+    seq = data.draw(
+        st.lists(st.integers(min_value=0, max_value=sigma - 1),
+                 max_size=120)
+    )
+    wm = WaveletMatrix(seq, sigma)
+    wt = WaveletTree(seq, sigma)
+    n = len(seq)
+    b1 = data.draw(st.integers(min_value=0, max_value=n))
+    e1 = data.draw(st.integers(min_value=0, max_value=n))
+    b2 = data.draw(st.integers(min_value=0, max_value=n))
+    e2 = data.draw(st.integers(min_value=0, max_value=n))
+
+    plain_distinct = list(wm.range_distinct(b1, e1))
+    plain_intersect = wm.range_intersect(b1, e1, b2, e2)
+
+    metrics = Metrics()
+    with instrument_matrix(wm, metrics):
+        counted_distinct = list(wm.range_distinct(b1, e1))
+        counted_intersect = wm.range_intersect(b1, e1, b2, e2)
+    assert type(wm) is WaveletMatrix  # classes restored on exit
+
+    expected_distinct = list(wt.range_distinct(b1, e1))
+    expected_intersect = wt.range_intersect(b1, e1, b2, e2)
+    assert plain_distinct == counted_distinct == expected_distinct
+    assert plain_intersect == counted_intersect == expected_intersect
+    assert metrics.count("wavelet.range_distinct") == 1
+    assert metrics.count("wavelet.range_intersect") == 1
