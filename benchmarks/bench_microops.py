@@ -10,6 +10,8 @@ number, not an assertion.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -95,3 +97,92 @@ def test_dict_adjacency_probe(benchmark, bench_index):
         return total
 
     assert benchmark(probes) >= 0
+
+
+# ----------------------------------------------------------------------
+# Batch kernels: the same elementary ops, a frontier at a time
+# ----------------------------------------------------------------------
+
+
+def _best_of(fn, repeats: int = 50) -> float:
+    """Min wall-clock of ``repeats`` calls (noise-robust microtiming)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_bitvector_rank_batched(benchmark, bitvector):
+    """One ``rank1_many`` call over the same positions the scalar
+    benchmark walks; asserts batch/scalar agreement first."""
+    benchmark.group = "micro-ops"
+    positions = np.arange(0, 200_000, 97, dtype=np.int64)
+    scalar = [bitvector.rank1(int(i)) for i in positions]
+    assert bitvector.rank1_many(positions).tolist() == scalar
+
+    def ranks():
+        return int(bitvector.rank1_many(positions).sum())
+
+    assert benchmark(ranks) > 0
+
+
+def test_batched_rank_speedup(bitvector):
+    """The batched rank kernel must beat the scalar loop by >= 3x once
+    the batch amortises the numpy dispatch overhead.
+
+    The crossover sits between batch 64 (the kernel roughly ties the
+    scalar loop) and batch 256; the gate asserts the >= 3x bar from
+    256 up and agreement at every size.
+    """
+    rng = np.random.default_rng(7)
+    speedups = {}
+    for batch in (64, 256, 2048):
+        positions = rng.integers(0, 200_000, size=batch).astype(np.int64)
+        pos_list = [int(p) for p in positions]
+        expected = [bitvector.rank1(p) for p in pos_list]
+        assert bitvector.rank1_many(positions).tolist() == expected
+        scalar_t = _best_of(lambda: [bitvector.rank1(p) for p in pos_list])
+        batched_t = _best_of(lambda: bitvector.rank1_many(positions))
+        speedups[batch] = scalar_t / batched_t
+    assert speedups[256] >= 3.0, speedups
+    assert speedups[2048] >= 3.0, speedups
+
+
+def test_wavelet_descend_batch(benchmark, matrix):
+    """Level-synchronous batched descent over many ranges at once;
+    asserts it reports exactly what per-range ``range_distinct`` does."""
+    benchmark.group = "micro-ops"
+    ranges = [(i * 1_000, i * 1_000 + 400) for i in range(64)]
+    origins, symbols, _, _ = matrix.descend_batch(ranges)
+    for oi, (b, e) in enumerate(ranges):
+        want = [s for s, _, _ in matrix.range_distinct(b, e)]
+        got = symbols[origins == oi].tolist()
+        assert got == want
+
+    def descend():
+        return len(matrix.descend_batch(ranges)[0])
+
+    assert benchmark(descend) > 0
+
+
+def test_ring_backward_step_batched(benchmark, bench_index):
+    """Bulk Eq. 4-5 steps against the per-range scalar walk."""
+    benchmark.group = "micro-ops"
+    ring = bench_index.ring
+    ranges = []
+    for o in range(0, ring.num_nodes, 41):
+        b, e = ring.object_range(o)
+        if b < e:
+            ranges.append((b, e))
+    pid = 0
+    batched = ring.backward_step_many(ranges, pid)
+    scalar = [ring.backward_step(b, e, pid) for b, e in ranges]
+    assert [tuple(row) for row in batched.tolist()] == scalar
+
+    def steps():
+        out = ring.backward_step_many(ranges, pid)
+        return int(out[:, 1].sum())
+
+    assert benchmark(steps) >= 0

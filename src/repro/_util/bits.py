@@ -44,6 +44,80 @@ def popcount_words_cumulative(words: np.ndarray) -> np.ndarray:
     return _POPCOUNT8[as_bytes].sum(axis=1, dtype=np.uint32)
 
 
+# numpy >= 2.0 ships a native vectorized popcount; pyproject only pins
+# numpy >= 1.24, so fall back to the byte table when it is missing.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def popcount_u64(words: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a ``uint64`` array, as ``int64``.
+
+    The batch-kernel analogue of ``int.bit_count()``: one vectorized
+    pass instead of a Python-level loop per element.
+    """
+    if words.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words).astype(np.int64)
+    as_bytes = np.ascontiguousarray(words).view(np.uint8).reshape(-1, 8)
+    return _POPCOUNT8[as_bytes].sum(axis=1, dtype=np.int64)
+
+
+# Low-bit masks per in-word offset: _LOW_MASKS[k] has the k lowest bits
+# set.  A 64-entry gather replaces a shift + subtract pass per batch.
+_LOW_MASKS = (
+    np.uint64(1) << np.arange(64, dtype=np.uint64)
+) - np.uint64(1)
+
+
+def rank1_many_words(
+    words: np.ndarray,
+    cum: np.ndarray,
+    n_bits: int,
+    positions: np.ndarray,
+) -> np.ndarray:
+    """Vectorized ``rank1`` over packed words with a cumulative directory.
+
+    Parameters
+    ----------
+    words:
+        Packed little-endian ``uint64`` payload.  May carry one zero
+        sentinel word beyond the directory (``len(words) == len(cum)``);
+        callers on hot paths pass that extended form so the boundary
+        position needs no index clamp.
+    cum:
+        Cumulative per-word popcounts, word count + 1 entries,
+        ``int64`` (so the gathered counts need no upcast).
+    n_bits:
+        Logical length; positions are clipped into ``[0, n_bits]``
+        exactly like the scalar ``BitVector.rank1`` clamps.
+    positions:
+        ``int64`` array of rank arguments.
+
+    Returns the number of 1-bits strictly before each position.  The
+    whole computation is gather + mask + popcount — no per-position
+    Python bytecode.
+    """
+    pos = np.asarray(positions, dtype=np.int64)
+    if pos.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if n_bits == 0 or words.size == 0:
+        return np.zeros(pos.shape, dtype=np.int64)
+    clipped = np.clip(pos, 0, n_bits)
+    word = clipped >> 6
+    if len(words) == len(cum):
+        # Sentinel-extended payload: position n_bits on a word boundary
+        # gathers the zero sentinel (offset 0 masks it out anyway).
+        payload = words[word]
+    else:
+        # ``word`` equals len(words) only when clipped == n_bits on a
+        # word boundary; the offset is 0 there, so the masked payload
+        # does not matter — gather a safe index instead.
+        payload = words[np.minimum(word, len(words) - 1)]
+    in_word = payload & _LOW_MASKS[clipped & 63]
+    return cum[word] + popcount_u64(in_word)
+
+
 def bits_to_words(bits: Iterable[int]) -> np.ndarray:
     """Pack an iterable of 0/1 values into a little-endian uint64 array.
 

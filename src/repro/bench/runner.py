@@ -4,13 +4,17 @@
 under a shared timeout and result cap, and returns a
 :class:`BenchmarkResults` able to answer all the questions Table 2 and
 Fig. 8 ask: overall and per-shape summaries, per-pattern timing
-distributions, and win counts.
+distributions, and win counts.  :func:`write_engine_bench_json`
+serialises one engine's view of a run into the ``BENCH_engine.json``
+trajectory file tracked across PRs.
 """
 
 from __future__ import annotations
 
+import json
 from collections import defaultdict
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.bench.patterns import classify_query
 from repro.bench.stats import FiveNumber, Summary, summarize
@@ -195,6 +199,97 @@ class BenchmarkResults:
                           if not r.timed_out and not r.truncated}
                 problems.append(f"{query_text}: {detail}")
         return problems
+
+
+#: Counters worth tracking across PRs in the trajectory file.  A
+#: subset of :meth:`QueryStats.operation_counts` — the high-level work
+#: measures, not every phase bucket.
+TRAJECTORY_COUNTERS = (
+    "storage_ops",
+    "wavelet_nodes",
+    "product_nodes",
+    "product_edges",
+    "backward_steps",
+    "rank_ops",
+    "lp_nodes",
+    "lp_pruned",
+    "ls_nodes",
+    "ls_pruned",
+    "object_ranges",
+    "subqueries",
+)
+
+
+def engine_bench_report(
+    results: BenchmarkResults,
+    engine: str,
+    meta: "dict[str, object] | None" = None,
+) -> dict:
+    """One engine's run as a plain JSON-ready dict.
+
+    The report carries per-shape (``c-to-v`` / ``v-to-v``) and
+    per-pattern-class mean/median wall-clock plus mean operation
+    counters, so successive PRs can be compared number-for-number.
+    """
+
+    def _summary_dict(summary: Summary) -> dict:
+        return {
+            "count": summary.count,
+            "mean_seconds": summary.average,
+            "median_seconds": summary.median,
+            "timeouts": summary.timeouts,
+        }
+
+    shapes = {}
+    for shape in ("c-to-v", "v-to-v"):
+        summary = results.summary(engine, shape=shape)
+        if summary.count:
+            shapes[shape] = _summary_dict(summary)
+
+    patterns = {}
+    for pattern in results.patterns():
+        times = results.pattern_times(engine, pattern)
+        if not times:
+            continue
+        selected = results._select(engine, pattern=pattern)
+        summary = summarize(
+            [r.elapsed for r in selected],
+            [r.timed_out for r in selected],
+            results.timeout,
+        )
+        entry = _summary_dict(summary)
+        entry["shape"] = selected[0].shape
+        entry["counters"] = {
+            name: results.mean_counter(engine, name, pattern=pattern)
+            for name in TRAJECTORY_COUNTERS
+        }
+        patterns[pattern] = entry
+
+    report = {
+        "schema": "bench-engine/v1",
+        "engine": engine,
+        "overall": _summary_dict(results.summary(engine)),
+        "shapes": shapes,
+        "patterns": patterns,
+    }
+    if meta:
+        report["meta"] = dict(meta)
+    return report
+
+
+def write_engine_bench_json(
+    results: BenchmarkResults,
+    path: "str | Path",
+    engine: str = "ring",
+    meta: "dict[str, object] | None" = None,
+) -> dict:
+    """Write :func:`engine_bench_report` to ``path`` and return it."""
+    report = engine_bench_report(results, engine, meta=meta)
+    Path(path).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return report
 
 
 def run_benchmark(

@@ -1,0 +1,81 @@
+"""Perf-trajectory driver: regenerate ``BENCH_engine.json``.
+
+Every PR that touches the query path re-runs this driver at the
+standard calibration scale and commits the refreshed report at the
+repo root, so the per-pattern-class wall-clock numbers form a
+commit-over-commit trajectory.  The scale is larger than the default
+:func:`~repro.bench.context.build_context` knobs on the query-log side
+(``log_scale=0.2``) so the v-to-v classes contribute enough queries
+for stable means, and the timeout is generous enough that nothing
+times out on the reference machine — timeouts would clamp the mean and
+hide regressions.
+
+Run as ``python -m repro.bench.trajectory [--out BENCH_engine.json]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.context import build_context
+from repro.bench.runner import run_benchmark, write_engine_bench_json
+
+#: The pinned trajectory scale — change it only deliberately, because
+#: numbers are only comparable across PRs at identical parameters.
+TRAJECTORY_PARAMS = dict(
+    n_nodes=3_000,
+    n_edges=18_000,
+    n_predicates=40,
+    log_scale=0.2,
+    timeout=10.0,
+    limit=100_000,
+    seed=0,
+)
+
+
+def run_trajectory(out_path: str = "BENCH_engine.json",
+                   meta: "dict[str, object] | None" = None) -> dict:
+    """Run the ring engine over the pinned workload and write the report."""
+    context = build_context(engine_names=("ring",), **TRAJECTORY_PARAMS)
+    results = run_benchmark(
+        context.engines,
+        context.queries,
+        timeout=context.timeout,
+        limit=context.limit,
+    )
+    full_meta = {
+        **context.notes,
+        "timeout": context.timeout,
+        "limit": context.limit,
+        "seed": context.seed,
+        "n_queries": len(context.queries),
+    }
+    if meta:
+        full_meta.update(meta)
+    return write_engine_bench_json(results, out_path, engine="ring",
+                                  meta=full_meta)
+
+
+def main(argv: "list[str] | None" = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="regenerate the BENCH_engine.json perf trajectory file"
+    )
+    parser.add_argument("--out", default="BENCH_engine.json",
+                        help="output path (default: ./BENCH_engine.json)")
+    parser.add_argument("--label", default=None,
+                        help="free-form label recorded in the report meta")
+    args = parser.parse_args(argv)
+    meta = {"label": args.label} if args.label else None
+    report = run_trajectory(args.out, meta=meta)
+    overall = report["overall"]
+    print(f"wrote {args.out}: {overall['count']} queries, "
+          f"mean {overall['mean_seconds']:.4f}s")
+    for shape, summary in sorted(report["shapes"].items()):
+        print(f"  {shape}: n={summary['count']} "
+              f"mean={summary['mean_seconds']:.4f}s "
+              f"median={summary['median_seconds']:.4f}s "
+              f"timeouts={summary['timeouts']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,815 @@
+"""Batched backward product-graph traversal (the §4 algorithm on
+frontier-at-once kernels).
+
+:class:`BatchedBackwardRun` evaluates the same BFS the scalar
+:class:`~repro.core.engine._BackwardRun` performs, but restructured so
+the hot work runs on whole *frontiers*:
+
+* the pending BFS queue is consumed wave by wave (one wave = one BFS
+  generation), and all L_p descents of a wave merge into one
+  level-synchronous frontier — the ``B[v]`` mask pruning of §4.1
+  becomes a numpy boolean filter against a per-level mask array, and
+  each level costs one vectorized rank call
+  (:func:`repro._util.bits.rank1_many_words`) instead of two scalar
+  ranks per node;
+* the L_s descents of §4.2 mutate per-run state (the ``D`` visited
+  table and the ``D[v]`` node marks), so descents of the *same* anchor
+  stay sequential; descents of *different* anchors are independent and
+  run merged, one round-robin round at a time, with per-element anchor
+  provenance carried in a parallel array.
+
+Correctness of the reordering:
+
+* The wavelet matrix is a perfect tree — every leaf sits at level
+  ``height`` — and children are emitted in ``[left, right]`` order, so
+  a level-synchronous descent reports leaves in exactly the order the
+  scalar DFS (push right, push left, pop) visits them.
+* An L_p descent reads no mutable traversal state, so merging the
+  descents of one wave cannot change any outcome; each entry's leaf
+  list is what its scalar ``_expand`` would produce.
+* Within one L_s descent every conceptual ``(level, prefix)`` node and
+  every subject appears at most once, so level order vs DFS order
+  cannot change a prune decision; across descents of one anchor the
+  sequential task order preserves the scalar mutation order; across
+  anchors the dictionaries are disjoint.
+
+Counter semantics are preserved exactly — a batch of ``k`` nodes
+counts as ``k`` in every bucket, so the PR-1 invariants
+(``lp_nodes + lp_pruned + lp_empty == lp_descents + lp_children`` and
+the L_s analogue) keep holding and the engine-level differential test
+can assert batched == scalar counter for counter.  The only divergence
+is on early-exited runs (result cap hit, or boolean target found): the
+batched wave has already accounted the whole L_p leaf scan it was in,
+where the scalar loop stops mid-scan.  Reported *results* are
+identical either way, because leaves are processed in the same order
+up to the stopping point.
+
+Timeout ticks fire only at *balanced* points — end of an L_p wave, end
+of an L_s descent — at a carry-accumulated rate of one
+:meth:`_Budget.tick` per 256 processed nodes.  A
+:class:`~repro.errors.QueryTimeoutError` therefore always surfaces
+with balanced counter buckets, which the partial-stats-on-timeout
+regression test relies on.
+
+Small frontiers fall back to the scalar code path (same counters, no
+numpy fixed costs): waves of fewer than ``_LP_WAVE_MIN`` entries run
+the per-entry scalar expand, single-task L_s rounds run the scalar
+collect, and merged rounds only vectorize their rank calls once the
+level frontier reaches ``_VEC_MIN`` elements.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro._util.bits import rank1_many_words
+from repro.automata.glushkov import GlushkovAutomaton
+
+#: Waves with fewer pending entries than this expand entry-by-entry on
+#: the scalar path; the numpy level machinery costs ~tens of µs per
+#: wave, which only pays off once several descents share it.
+_LP_WAVE_MIN = 8
+
+#: Level frontiers of merged L_s rounds below this size rank with the
+#: inline Python fast path instead of the vectorized kernel.
+_VEC_MIN = 16
+
+#: L_s rounds merging fewer descents than this run them sequentially on
+#: the scalar path instead: the per-subject work is dict-bound either
+#: way, so the merge's frontier bookkeeping only pays off once enough
+#: descents share each level's rank call.
+_LS_ROUND_MIN = 32
+
+#: One timeout tick per this many processed wavelet nodes (matches the
+#: scalar runner's ``pops & 255`` throttle).
+_TICK_GRAIN = 256
+
+
+class BatchedBackwardRun:
+    """Backward BFS over one prepared query, batched across anchors.
+
+    Drop-in behavioural equivalent of the scalar ``_BackwardRun`` (same
+    reported sets, same counters); additionally supports running many
+    anchored subqueries in lockstep via :meth:`run_many`.  Requires
+    ``prepared.batchable`` (state masks fitting an int64) and BFS
+    traversal order.
+    """
+
+    def __init__(self, engine, prepared, budget, stats, prune: bool):
+        self.engine = engine
+        self.prepared = prepared
+        self.budget = budget
+        self.stats = stats
+        self.prune = prune
+        self.obs = engine.metrics
+        self._tick_carry = 0
+        # Per-anchor traversal state, filled by _run:
+        self.visited: list[dict[int, int]] = []
+        self.vnode_visited: list[dict[tuple[int, int], int]] = []
+        self.reported: list[set[int]] = []
+        self.base_mask = 0
+        self.max_reported: int | None = None
+        self.target: int | None = None
+        self.total_reported = 0
+        self.done = False
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        start_range: tuple[int, int],
+        start_node: int | None,
+        max_reported: int | None = None,
+        target: int | None = None,
+    ) -> set[int]:
+        """Single-anchor run; same contract as ``_BackwardRun.run``."""
+        return self._run(
+            [start_node], [start_range], max_reported, target
+        )[0]
+
+    def run_many(
+        self,
+        anchors: "list[int]",
+        start_ranges,
+        max_reported: int | None = None,
+    ) -> "list[set[int]]":
+        """One anchored subquery per anchor, traversed in lockstep.
+
+        ``start_ranges[i]`` is anchor ``i``'s object range.
+        ``max_reported`` caps the *total* across all anchors (phase 2
+        consumes one shared result budget).  Returns the per-anchor
+        reported sets, index-aligned with ``anchors``.
+        """
+        return self._run(list(anchors), start_ranges, max_reported, None)
+
+    # ------------------------------------------------------------------
+
+    def _run(self, anchors, start_ranges, max_reported, target):
+        automaton = self.prepared.automaton
+        start_mask = automaton.final_mask
+        k = len(anchors)
+        self.reported = [set() for _ in range(k)]
+        if start_mask == 0 or k == 0:
+            return self.reported
+        self.visited = [dict() for _ in range(k)]
+        self.vnode_visited = [dict() for _ in range(k)]
+        self.max_reported = max_reported
+        self.target = target
+        self.total_reported = 0
+        self.done = False
+        self.base_mask = 0
+        full_mask = (1 << automaton.num_states) - 1
+        forbidden = self.engine._forbidden_ids
+        wave: list[tuple[int, int, int, int]] = []
+        for ai, anchor in enumerate(anchors):
+            if anchor is None:
+                self.base_mask = (
+                    start_mask & ~GlushkovAutomaton.INITIAL_MASK
+                )
+            else:
+                self.visited[ai][anchor] = start_mask
+            for node in forbidden:
+                self.visited[ai][node] = full_mask
+            b, e = start_ranges[ai]
+            wave.append((ai, int(b), int(e), start_mask))
+
+        while wave and not self.done:
+            wave = self._process_wave(wave)
+        for visited in self.visited:
+            self.stats.visited_nodes = max(
+                self.stats.visited_nodes, len(visited)
+            )
+        return self.reported
+
+    # ------------------------------------------------------------------
+    # One BFS generation
+    # ------------------------------------------------------------------
+
+    def _process_wave(self, wave):
+        """Expand every pending entry of one generation; returns the
+        next generation's entries."""
+        entries = [
+            entry for entry in wave if entry[1] < entry[2]
+        ]
+        self._next_wave: list[tuple[int, int, int, int]] = []
+        if not entries:
+            return self._next_wave
+        obs = self.obs
+        if obs.enabled:
+            obs.inc("engine.steps", len(entries))
+            if obs.tracing:
+                for _, b, e, d in entries:
+                    obs.record("step", range=(b, e), states=d)
+        if len(entries) < _LP_WAVE_MIN:
+            for ai, b_o, e_o, d in entries:
+                self._expand_entry_scalar(ai, b_o, e_o, d)
+                if self.done:
+                    break
+            self._tick_flush()
+        else:
+            tasks = self._lp_wave(entries)
+            self._tick_flush()
+            if not self.done:
+                self._run_rounds(tasks)
+        return self._next_wave
+
+    def _run_rounds(self, tasks):
+        """Drain per-anchor L_s task queues, one round-robin round at a
+        time; a round merges at most one task per anchor."""
+        pending = [(ai, lst) for ai, lst in tasks.items() if lst]
+        while pending and not self.done:
+            round_tasks = []
+            still = []
+            for ai, lst in pending:
+                round_tasks.append((ai,) + lst.pop(0))
+                if lst:
+                    still.append((ai, lst))
+            pending = still
+            if len(round_tasks) < _LS_ROUND_MIN:
+                for ai, b_s, e_s, d_next in round_tasks:
+                    self._collect_scalar(ai, b_s, e_s, d_next)
+                    if self.done:
+                        break
+                self._tick_flush()
+            else:
+                self._collect_round(round_tasks)
+                self._tick_flush()
+
+    def _tick_flush(self):
+        """Fire the accumulated timeout ticks at a balanced point."""
+        tick = self.budget.tick
+        while self._tick_carry >= _TICK_GRAIN:
+            self._tick_carry -= _TICK_GRAIN
+            tick()
+
+    # ------------------------------------------------------------------
+    # Merged L_p wave (§4.1, frontier-at-once)
+    # ------------------------------------------------------------------
+
+    def _lp_wave(self, entries):
+        """Merged L_p descent of all wave entries.
+
+        Returns ``{anchor_index: [(b_s, e_s, d_next), ...]}`` — the
+        accepted predicate leaves mapped through the backward step, in
+        scalar order (entry-major, predicate ascending).
+        """
+        stats = self.stats
+        prepared = self.prepared
+        prune = self.prune
+        mask_levels = prepared.mask_levels
+        b_masks = prepared.b_masks
+        step_prefiltered = prepared.reverse.step_prefiltered
+        ring = self.engine.ring
+        c_p = ring.C_p.fast_list() or ring.C_p
+        levels, zeros, height, _, _, _ = self.engine.lp_batch
+        # Python-int bottom offsets: the leaf hand-off feeds the scalar
+        # L_s walkers, which must not receive numpy int64 values (their
+        # word masks are Python ints wider than a C long).
+        bottom_start = self.engine.lp_data[5]
+        obs = self.obs
+        timed = obs.enabled
+        tracing = obs.tracing
+        now = time.monotonic
+        if timed:
+            t_start = now()
+
+        k0 = len(entries)
+        stats.lp_descents += k0
+        d_list = [entry[3] for entry in entries]
+        eidx = np.arange(k0, dtype=np.int64)
+        dv = np.fromiter(d_list, np.int64, k0)
+        prefix = np.zeros(k0, dtype=np.int64)
+        b = np.fromiter((entry[1] for entry in entries), np.int64, k0)
+        e = np.fromiter((entry[2] for entry in entries), np.int64, k0)
+
+        examined = 0
+        lp_empty = lp_pruned = lp_nodes = lp_children = 0
+        wavelet_nodes = 0
+        for level in range(height):
+            k = len(b)
+            if k == 0:
+                break
+            examined += k
+            nonempty = e > b
+            if not nonempty.all():
+                lp_empty += k - int(nonempty.sum())
+                eidx, dv, prefix, b, e = (
+                    eidx[nonempty], dv[nonempty], prefix[nonempty],
+                    b[nonempty], e[nonempty],
+                )
+                k = len(b)
+                if k == 0:
+                    break
+            wavelet_nodes += k
+            if prune:
+                keep = (mask_levels[level][prefix] & dv) != 0
+                if not keep.all():
+                    lp_pruned += k - int(keep.sum())
+                    eidx, dv, prefix, b, e = (
+                        eidx[keep], dv[keep], prefix[keep],
+                        b[keep], e[keep],
+                    )
+                    k = len(b)
+                    if k == 0:
+                        break
+            lp_nodes += k
+            lp_children += 2 * k
+            words, cum64, n_bits = levels[level]
+            ranks = rank1_many_words(
+                words, cum64, n_bits, np.concatenate((b, e))
+            )
+            r1b, r1e = ranks[:k], ranks[k:]
+            z = zeros[level]
+            eidx = np.repeat(eidx, 2)
+            dv = np.repeat(dv, 2)
+            next_prefix = np.empty(2 * k, dtype=np.int64)
+            next_b = np.empty(2 * k, dtype=np.int64)
+            next_e = np.empty(2 * k, dtype=np.int64)
+            next_prefix[0::2] = prefix << 1
+            next_prefix[1::2] = (prefix << 1) | 1
+            next_b[0::2] = b - r1b
+            next_b[1::2] = z + r1b
+            next_e[0::2] = e - r1e
+            next_e[1::2] = z + r1e
+            prefix, b, e = next_prefix, next_b, next_e
+
+        # Leaf level: the same empty/prune bookkeeping, then the §4.2
+        # hand-off per surviving (entry, predicate) leaf in order.
+        tasks: dict[int, list] = {}
+        k = len(b)
+        if k:
+            examined += k
+            nonempty = e > b
+            if not nonempty.all():
+                lp_empty += k - int(nonempty.sum())
+                eidx, dv, prefix, b, e = (
+                    eidx[nonempty], dv[nonempty], prefix[nonempty],
+                    b[nonempty], e[nonempty],
+                )
+                k = len(b)
+        if k:
+            wavelet_nodes += k
+            if prune:
+                keep = (mask_levels[height][prefix] & dv) != 0
+                if not keep.all():
+                    lp_pruned += k - int(keep.sum())
+                    eidx, prefix, b, e = (
+                        eidx[keep], prefix[keep], b[keep], e[keep],
+                    )
+                    k = len(b)
+            lp_nodes += k
+        stats.lp_empty += lp_empty
+        stats.lp_pruned += lp_pruned
+        stats.lp_nodes += lp_nodes
+        stats.lp_children += lp_children
+        stats.wavelet_nodes += wavelet_nodes
+        stats.storage_ops += lp_children
+        self._tick_carry += examined
+        if k:
+            product_edges = 0
+            eidx_l = eidx.tolist()
+            prefix_l = prefix.tolist()
+            b_l = b.tolist()
+            e_l = e.tolist()
+            for i in range(k):
+                ei = eidx_l[i]
+                pid = prefix_l[i]
+                filtered = d_list[ei] & b_masks.get(pid, 0)
+                if filtered == 0:
+                    continue  # reachable only when pruning is disabled
+                start = bottom_start[pid]
+                base = c_p[pid]
+                b_s = base + (b_l[i] - start)
+                e_s = base + (e_l[i] - start)
+                product_edges += 1
+                d_next = step_prefiltered(filtered)
+                if d_next == 0:
+                    continue
+                if tracing:
+                    obs.record(
+                        "backward_step", pid=pid, range=(b_s, e_s),
+                        states=d_next,
+                    )
+                tasks.setdefault(entries[ei][0], []).append(
+                    (b_s, e_s, d_next)
+                )
+            stats.product_edges += product_edges
+            stats.backward_steps += product_edges
+        if timed:
+            obs.add_phase("predicates_from_objects", now() - t_start)
+        return tasks
+
+    # ------------------------------------------------------------------
+    # Merged L_s round (§4.2, one task per anchor)
+    # ------------------------------------------------------------------
+
+    def _collect_round(self, round_tasks):
+        """Merged level-synchronous L_s descent of one task per anchor.
+
+        The frontier is kept as parallel Python lists (the per-node
+        work is dict-heavy and must run per element anyway); only the
+        rank mapping to the next level is vectorized, and only once the
+        frontier is wide enough to amortise the kernel call.
+        """
+        stats = self.stats
+        prune = self.prune
+        base_mask = self.base_mask
+        visited_by_anchor = self.visited
+        vnodes_by_anchor = self.vnode_visited
+        reported_by_anchor = self.reported
+        ring = self.engine.ring
+        c_o = ring.C_o.fast_list() or ring.C_o
+        levels_py, zeros, height, sigma, class_cum, _ = self.engine.ls_data
+        levels_np = self.engine.ls_batch[0]
+        initial_mask = GlushkovAutomaton.INITIAL_MASK
+        max_reported = self.max_reported
+        target = self.target
+        obs = self.obs
+        timed = obs.enabled
+        tracing = obs.tracing
+        now = time.monotonic
+        if timed:
+            t_start = now()
+
+        n_tasks = len(round_tasks)
+        stats.ls_descents += n_tasks
+        # Per-task context: (visited, vnodes, d_next, reported, ai).
+        ctx = [
+            (
+                visited_by_anchor[ai],
+                vnodes_by_anchor[ai],
+                d_next,
+                reported_by_anchor[ai],
+                ai,
+            )
+            for ai, _, _, d_next in round_tasks
+        ]
+        tid = list(range(n_tasks))
+        prefix = [0] * n_tasks
+        bs = [task[1] for task in round_tasks]
+        es = [task[2] for task in round_tasks]
+
+        examined = 0
+        ls_empty = ls_pruned = ls_nodes = ls_children = 0
+        wavelet_nodes = 0
+        for level in range(height):
+            k = len(tid)
+            if k == 0:
+                break
+            examined += k
+            kt: list[int] = []
+            kp: list[int] = []
+            kb: list[int] = []
+            ke: list[int] = []
+            shift = height - level
+            for i in range(k):
+                b = bs[i]
+                e = es[i]
+                if b >= e:
+                    ls_empty += 1
+                    continue
+                wavelet_nodes += 1
+                t = tid[i]
+                p = prefix[i]
+                if prune:
+                    key = (level, p)
+                    vnodes = ctx[t][1]
+                    d_next = ctx[t][2]
+                    seen = vnodes.get(key, base_mask)
+                    if d_next | seen == seen:
+                        ls_pruned += 1
+                        continue
+                    lo = p << shift
+                    hi = lo + (1 << shift)
+                    if hi > sigma:
+                        hi = sigma
+                    if class_cum[hi] - class_cum[lo] == e - b:
+                        vnodes[key] = seen | d_next
+                ls_nodes += 1
+                ls_children += 2
+                kt.append(t)
+                kp.append(p)
+                kb.append(b)
+                ke.append(e)
+            k = len(kt)
+            if k == 0:
+                tid = []
+                break
+            z = zeros[level]
+            if k >= _VEC_MIN:
+                words, cum64, n_bits = levels_np[level]
+                ranks = rank1_many_words(
+                    words, cum64, n_bits,
+                    np.fromiter(kb + ke, np.int64, 2 * k),
+                )
+                r1b = ranks[:k].tolist()
+                r1e = ranks[k:].tolist()
+            else:
+                words, cum, n_bits = levels_py[level]
+                r1b = []
+                r1e = []
+                for pos in kb:
+                    if pos <= 0:
+                        r1b.append(0)
+                    elif pos >= n_bits:
+                        r1b.append(cum[-1])
+                    else:
+                        w = pos >> 6
+                        off = pos & 63
+                        r = cum[w]
+                        if off:
+                            r += (words[w] & ((1 << off) - 1)).bit_count()
+                        r1b.append(r)
+                for pos in ke:
+                    if pos >= n_bits:
+                        r1e.append(cum[-1])
+                    else:
+                        w = pos >> 6
+                        off = pos & 63
+                        r = cum[w]
+                        if off:
+                            r += (words[w] & ((1 << off) - 1)).bit_count()
+                        r1e.append(r)
+            tid = [t for t in kt for _ in (0, 1)]
+            prefix = [q for p in kp for q in (p << 1, (p << 1) | 1)]
+            bs = [v for pb, rb in zip(kb, r1b) for v in (pb - rb, z + rb)]
+            es = [v for pe, re in zip(ke, r1e) for v in (pe - re, z + re)]
+
+        # Leaf level: visit subjects per element, exactly the scalar
+        # leaf logic against the owning anchor's state.
+        product_nodes = object_ranges = 0
+        next_wave = self._next_wave
+        k = len(tid)
+        examined += k
+        for i in range(k):
+            b = bs[i]
+            e = es[i]
+            if b >= e:
+                ls_empty += 1
+                continue
+            wavelet_nodes += 1
+            t = tid[i]
+            visited, _, d_next, reported, ai = ctx[t]
+            subject = prefix[i]
+            seen = visited.get(subject, base_mask)
+            if d_next | seen == seen:
+                ls_pruned += 1
+                continue
+            ls_nodes += 1
+            d_new = d_next & ~seen
+            visited[subject] = seen | d_next
+            product_nodes += 1
+            if d_new & initial_mask:
+                reported.add(subject)
+                self.total_reported += 1
+                if tracing:
+                    obs.record("emit", subject=subject, states=d_new)
+                if target is not None and subject == target:
+                    self.done = True
+                    break
+                if (
+                    max_reported is not None
+                    and self.total_reported >= max_reported
+                ):
+                    stats.truncated = True
+                    self.done = True
+                    break
+            object_ranges += 1
+            ob = c_o[subject]
+            oe = c_o[subject + 1]
+            if ob < oe:
+                next_wave.append((ai, ob, oe, d_new))
+        stats.ls_empty += ls_empty
+        stats.ls_pruned += ls_pruned
+        stats.ls_nodes += ls_nodes
+        stats.ls_children += ls_children
+        stats.wavelet_nodes += wavelet_nodes
+        stats.storage_ops += ls_children
+        stats.product_nodes += product_nodes
+        stats.object_ranges += object_ranges
+        self._tick_carry += examined
+        if timed:
+            obs.add_phase("subjects_from_predicates", now() - t_start)
+
+    # ------------------------------------------------------------------
+    # Scalar fallbacks (reference semantics, small frontiers)
+    # ------------------------------------------------------------------
+    # These mirror ``_BackwardRun._expand`` / ``_collect_subjects``
+    # statement for statement (bar the per-anchor state and the
+    # carry-based ticking); any change there must be replayed here.
+
+    def _expand_entry_scalar(self, ai, b_o, e_o, d):
+        """Scalar L_p descent of one entry, collects inline at leaves."""
+        ring = self.engine.ring
+        prepared = self.prepared
+        bv_masks = prepared.bv_masks
+        b_masks = prepared.b_masks
+        step_prefiltered = prepared.reverse.step_prefiltered
+        stats = self.stats
+        prune = self.prune
+        c_p = ring.C_p.fast_list() or ring.C_p
+        levels, zeros, height, _, _, bottom_start = self.engine.lp_data
+        obs = self.obs
+        timed = obs.enabled
+        tracing = obs.tracing
+        now = time.monotonic
+        if timed:
+            t_start = now()
+            t_sub = 0.0
+        stats.lp_descents += 1
+
+        stack = [(0, 0, b_o, e_o)]
+        pops = 0
+        while stack:
+            pops += 1
+            level, prefix, b, e = stack.pop()
+            if b >= e:
+                stats.lp_empty += 1
+                continue
+            stats.wavelet_nodes += 1
+            if prune:
+                filtered = d & bv_masks.get((level, prefix), 0)
+                if filtered == 0:
+                    stats.lp_pruned += 1
+                    continue
+            stats.lp_nodes += 1
+            if level == height:
+                pid = prefix
+                filtered = d & b_masks.get(pid, 0)
+                if filtered == 0:
+                    continue  # reachable only when pruning is disabled
+                start = bottom_start[pid]
+                base = c_p[pid]
+                b_s, e_s = base + (b - start), base + (e - start)
+                if b_s >= e_s:
+                    continue
+                stats.product_edges += 1
+                stats.backward_steps += 1
+                d_next = step_prefiltered(filtered)
+                if d_next == 0:
+                    continue
+                if tracing:
+                    obs.record(
+                        "backward_step", pid=pid, range=(b_s, e_s),
+                        states=d_next,
+                    )
+                if timed:
+                    t0 = now()
+                    self._collect_scalar(ai, b_s, e_s, d_next)
+                    t_sub += now() - t0
+                else:
+                    self._collect_scalar(ai, b_s, e_s, d_next)
+                if self.done:
+                    break
+            else:
+                stats.lp_children += 2
+                stats.storage_ops += 2
+                words, cum, n_bits = levels[level]
+                # rank1(b), rank1(e) inlined (BitVector fast path).
+                if b <= 0:
+                    r1b = 0
+                elif b >= n_bits:
+                    r1b = cum[-1]
+                else:
+                    w = b >> 6
+                    off = b & 63
+                    r1b = cum[w]
+                    if off:
+                        r1b += (words[w] & ((1 << off) - 1)).bit_count()
+                if e >= n_bits:
+                    r1e = cum[-1]
+                else:
+                    w = e >> 6
+                    off = e & 63
+                    r1e = cum[w]
+                    if off:
+                        r1e += (words[w] & ((1 << off) - 1)).bit_count()
+                z = zeros[level]
+                next_level = level + 1
+                stack.append(
+                    (next_level, (prefix << 1) | 1, z + r1b, z + r1e)
+                )
+                stack.append(
+                    (next_level, prefix << 1, b - r1b, e - r1e)
+                )
+        self._tick_carry += pops
+        if timed:
+            obs.add_phase("predicates_from_objects", now() - t_start - t_sub)
+
+    def _collect_scalar(self, ai, b_s, e_s, d_next):
+        """Scalar L_s descent of one task (§4.2 reference walk)."""
+        ring = self.engine.ring
+        stats = self.stats
+        prune = self.prune
+        visited = self.visited[ai]
+        vnode_visited = self.vnode_visited[ai]
+        reported = self.reported[ai]
+        base_mask = self.base_mask
+        c_o = ring.C_o.fast_list() or ring.C_o
+        levels, zeros, height, sigma, class_cum, _ = self.engine.ls_data
+        initial_mask = GlushkovAutomaton.INITIAL_MASK
+        max_reported = self.max_reported
+        target = self.target
+        next_wave = self._next_wave
+        obs = self.obs
+        timed = obs.enabled
+        tracing = obs.tracing
+        now = time.monotonic
+        if timed:
+            t_start = now()
+            t_obj = 0.0
+        stats.ls_descents += 1
+
+        stack = [(0, 0, b_s, e_s)]
+        pops = 0
+        while stack:
+            pops += 1
+            level, prefix, b, e = stack.pop()
+            if b >= e:
+                stats.ls_empty += 1
+                continue
+            stats.wavelet_nodes += 1
+            if level == height:
+                subject = prefix
+                seen = visited.get(subject, base_mask)
+                if d_next | seen == seen:
+                    stats.ls_pruned += 1
+                    continue
+                stats.ls_nodes += 1
+                d_new = d_next & ~seen
+                visited[subject] = seen | d_next
+                stats.product_nodes += 1
+                if d_new & initial_mask:
+                    reported.add(subject)
+                    self.total_reported += 1
+                    if tracing:
+                        obs.record("emit", subject=subject, states=d_new)
+                    if target is not None and subject == target:
+                        self.done = True
+                        break
+                    if (
+                        max_reported is not None
+                        and self.total_reported >= max_reported
+                    ):
+                        stats.truncated = True
+                        self.done = True
+                        break
+                if timed:
+                    t0 = now()
+                stats.object_ranges += 1
+                ob = c_o[subject]
+                oe = c_o[subject + 1]
+                if ob < oe:
+                    next_wave.append((ai, ob, oe, d_new))
+                if timed:
+                    t_obj += now() - t0
+                continue
+            if prune:
+                key = (level, prefix)
+                seen = vnode_visited.get(key, base_mask)
+                if d_next | seen == seen:
+                    stats.ls_pruned += 1
+                    continue
+                # Record the visit only when the range *covers* the node
+                # (see the scalar reference and DESIGN.md "Deviations").
+                shift = height - level
+                lo = prefix << shift
+                hi = lo + (1 << shift)
+                if hi > sigma:
+                    hi = sigma
+                if class_cum[hi] - class_cum[lo] == e - b:
+                    vnode_visited[key] = seen | d_next
+            stats.ls_nodes += 1
+            stats.ls_children += 2
+            stats.storage_ops += 2
+            words, cum, n_bits = levels[level]
+            if b <= 0:
+                r1b = 0
+            elif b >= n_bits:
+                r1b = cum[-1]
+            else:
+                w = b >> 6
+                off = b & 63
+                r1b = cum[w]
+                if off:
+                    r1b += (words[w] & ((1 << off) - 1)).bit_count()
+            if e >= n_bits:
+                r1e = cum[-1]
+            else:
+                w = e >> 6
+                off = e & 63
+                r1e = cum[w]
+                if off:
+                    r1e += (words[w] & ((1 << off) - 1)).bit_count()
+            z = zeros[level]
+            next_level = level + 1
+            stack.append((next_level, (prefix << 1) | 1, z + r1b, z + r1e))
+            stack.append((next_level, prefix << 1, b - r1b, e - r1e))
+        self._tick_carry += pops
+        if timed:
+            obs.add_phase("subjects_from_predicates", now() - t_start - t_obj)
+            obs.add_phase("subjects_to_objects", t_obj)

@@ -28,8 +28,10 @@ handle length-1/2 and disjunctive patterns with pure backward search.
 from __future__ import annotations
 
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from collections.abc import Iterable
+
+import numpy as np
 
 from repro.automata.bitparallel import ReverseSimulator
 from repro.automata.glushkov import (
@@ -38,6 +40,7 @@ from repro.automata.glushkov import (
     resolve_atom_to_predicates,
 )
 from repro.automata.syntax import Concat, RegexNode, Symbol, Union
+from repro.core.batchrun import BatchedBackwardRun
 from repro.core.planner import choose_anchor_side
 from repro.core.query import RPQ, as_query
 from repro.core.result import QueryResult, QueryStats
@@ -50,6 +53,12 @@ from repro.obs.metrics import NULL_METRICS
 #: inner operations — keep this small or a mid-sized query can finish
 #: (or badly overrun its budget) without ever consulting the clock.
 _TICK_EVERY = 4
+
+#: Phase-2 anchored subqueries merge into batched runs of this many
+#: anchors.  Wide chunks are what make the shared L_p waves wide (the
+#: dominant saving), so this errs large; the chunk still bounds how
+#: stale the shared result-cap snapshot can get between checks.
+_ANCHOR_BATCH = 1024
 
 
 class _Budget:
@@ -85,7 +94,10 @@ class _Prepared:
     ``L_p`` matrix, and the reverse bit-parallel simulator.
     """
 
-    __slots__ = ("automaton", "b_masks", "bv_masks", "reverse")
+    __slots__ = (
+        "automaton", "b_masks", "bv_masks", "reverse", "batchable",
+        "mask_levels",
+    )
 
     def __init__(self, expr: RegexNode, index) -> None:
         self.automaton = build_glushkov(expr)
@@ -101,6 +113,23 @@ class _Prepared:
                 bv[key] = bv.get(key, 0) | mask
         self.bv_masks = bv
         self.reverse = ReverseSimulator(self.automaton, self.b_masks)
+        # The batched traversal keeps NFA state sets in int64 arrays, so
+        # it only applies while every mask fits a signed 64-bit word;
+        # larger automata fall back to the scalar runner (Python ints).
+        self.batchable = self.automaton.num_states <= 63
+        if self.batchable:
+            # bv_masks as one dense int64 array per level, so the §4.1
+            # prune becomes ``mask_levels[level][prefix] & D`` over the
+            # whole frontier.  Level ``height`` rows equal ``b_masks``.
+            mask_levels = []
+            for level in range(height + 1):
+                row = np.zeros(1 << level, dtype=np.int64)
+                mask_levels.append(row)
+            for (level, prefix), mask in bv.items():
+                mask_levels[level][prefix] = mask
+            self.mask_levels = mask_levels
+        else:
+            self.mask_levels = None
 
 
 class _BackwardRun:
@@ -206,7 +235,7 @@ class _BackwardRun:
         stats = self.stats
         tick = self.budget.tick
         prune = self.prune
-        c_p = ring.C_p
+        c_p = ring.C_p.fast_list() or ring.C_p
         levels, zeros, height, _, _, bottom_start = self.engine.lp_data
         obs = self.obs
         timed = obs.enabled
@@ -452,6 +481,18 @@ class RingRPQEngine:
         order in which pending (node, state-set) entries expand.  §3.2
         allows any graph search; answers are identical either way, the
         memory/locality profile differs.
+    batch:
+        Use the frontier-batched traversal runner
+        (:class:`~repro.core.batchrun.BatchedBackwardRun`) where it
+        applies — BFS order and automata of at most 63 states; other
+        configurations, and small frontiers, keep the scalar runner.
+        Off gives the pure scalar reference engine.
+    prepare_cache_size:
+        Capacity of the per-engine LRU cache of compiled expressions
+        (automaton + ``B``/``B[v]`` masks), keyed on the expression
+        tree.  ``0`` or ``None`` disables the LRU; a single
+        ``evaluate`` call still memoises its own ``_prepare`` results
+        (an expression and its reverse recur across phases).
     metrics:
         A :class:`~repro.obs.metrics.Metrics` registry receiving phase
         timers and trace events; defaults to the no-op
@@ -469,6 +510,8 @@ class RingRPQEngine:
         fast_paths: bool = True,
         use_planner: bool = True,
         traversal: str = "bfs",
+        batch: bool = True,
+        prepare_cache_size: int | None = 128,
         metrics=None,
     ):
         if traversal not in ("bfs", "dfs"):
@@ -478,11 +521,18 @@ class RingRPQEngine:
         self.fast_paths = fast_paths
         self.use_planner = use_planner
         self.traversal = traversal
+        self.batch = batch
         self.metrics = metrics if metrics is not None else NULL_METRICS
         #: Node ids excluded from matching paths (see ``evaluate``).
         self._forbidden_ids: frozenset[int] = frozenset()
         self._lp_data = None
         self._ls_data = None
+        self._lp_batch = None
+        self._ls_batch = None
+        self._prepare_cache_size = prepare_cache_size or 0
+        self._prepare_cache: OrderedDict[RegexNode, _Prepared] = OrderedDict()
+        # Per-evaluate memo, installed for the span of one evaluate().
+        self._call_memo: dict[RegexNode, _Prepared] | None = None
 
     # ------------------------------------------------------------------
 
@@ -509,6 +559,29 @@ class RingRPQEngine:
         if self._ls_data is None:
             self._ls_data = self.ring.L_s.traversal_data()
         return self._ls_data
+
+    @property
+    def lp_batch(self):
+        """Cached batch-kernel arrays of ``L_p`` (numpy words/cum64)."""
+        if self._lp_batch is None:
+            self._lp_batch = self.ring.L_p.batch_data()
+        return self._lp_batch
+
+    @property
+    def ls_batch(self):
+        """Cached batch-kernel arrays of ``L_s`` (numpy words/cum64)."""
+        if self._ls_batch is None:
+            self._ls_batch = self.ring.L_s.batch_data()
+        return self._ls_batch
+
+    def _new_run(self, prepared: _Prepared, budget: _Budget,
+                 stats: QueryStats):
+        """The traversal runner for one (sub)query: batched when the
+        engine and the prepared automaton allow it, scalar otherwise."""
+        if self.batch and self.traversal == "bfs" and prepared.batchable:
+            return BatchedBackwardRun(self, prepared, budget, stats,
+                                      self.prune)
+        return _BackwardRun(self, prepared, budget, stats, self.prune)
 
     # ------------------------------------------------------------------
 
@@ -554,6 +627,7 @@ class RingRPQEngine:
                 for label in forbidden_nodes
                 if self.dictionary.has_node(label)
             )
+        self._call_memo = {}
         try:
             if obs.enabled:
                 obs.inc("engine.queries")
@@ -565,6 +639,7 @@ class RingRPQEngine:
         finally:
             self._forbidden_ids = previous
             self.metrics = previous_metrics
+            self._call_memo = None
         stats.elapsed = budget.elapsed()
         if obs.enabled:
             obs.add_phase("total", stats.elapsed)
@@ -688,7 +763,7 @@ class RingRPQEngine:
             result.stats.truncated = True
             return
 
-        run = _BackwardRun(self, prepared, budget, result.stats, self.prune)
+        run = self._new_run(prepared, budget, result.stats)
         reported = run.run(
             self.ring.object_range(anchor),
             start_node=anchor,
@@ -734,7 +809,7 @@ class RingRPQEngine:
                 prepared = self._prepare(rpq.expr.reverse(), result.stats)
                 anchor, target = subject, obj
 
-        run = _BackwardRun(self, prepared, budget, result.stats, self.prune)
+        run = self._new_run(prepared, budget, result.stats)
         reported = run.run(
             self.ring.object_range(anchor),
             start_node=anchor,
@@ -786,24 +861,64 @@ class RingRPQEngine:
 
         # Phase 1: one traversal from the full L_p range binds one side.
         first_prepared = self._prepare(first_expr, result.stats)
-        run = _BackwardRun(
-            self, first_prepared, budget, result.stats, self.prune
-        )
+        run = self._new_run(first_prepared, budget, result.stats)
         bindings = run.run(
             self.ring.full_range(), start_node=None, max_reported=limit
         )
 
         # Phase 2: one anchored run per binding, on the other automaton.
         second_prepared = self._prepare(second_expr, result.stats)
-        for node_id in sorted(bindings):
+        order = sorted(bindings)
+        batched = (
+            self.batch
+            and self.traversal == "bfs"
+            and second_prepared.batchable
+        )
+        if batched:
+            # Anchored subqueries are independent (disjoint visited
+            # tables), so chunks of them traverse in lockstep sharing
+            # each BFS wave's kernel calls; provenance stays per-anchor
+            # inside the runner.  The result cap is re-snapshotted per
+            # chunk instead of per anchor — same guarantee (stop once
+            # ``limit`` pairs exist), coarser check.
+            for lo in range(0, len(order), _ANCHOR_BATCH):
+                chunk = order[lo:lo + _ANCHOR_BATCH]
+                for _ in chunk:
+                    budget.tick()
+                remaining = (
+                    None if limit is None else limit - len(result.pairs)
+                )
+                if remaining is not None and remaining <= 0:
+                    result.stats.truncated = True
+                    return
+                sub_run = self._new_run(
+                    second_prepared, budget, result.stats
+                )
+                result.stats.subqueries += len(chunk)
+                partner_sets = sub_run.run_many(
+                    chunk,
+                    self.ring.object_ranges_many(chunk),
+                    max_reported=remaining,
+                )
+                for node_id, partners in zip(chunk, partner_sets):
+                    if not partners:
+                        continue
+                    anchor_label = dictionary.node_label(node_id)
+                    for partner in partners:
+                        partner_label = dictionary.node_label(partner)
+                        if side == "subject":
+                            result.pairs.add((anchor_label, partner_label))
+                        else:
+                            result.pairs.add((partner_label, anchor_label))
+            return
+
+        for node_id in order:
             budget.tick()
             remaining = None if limit is None else limit - len(result.pairs)
             if remaining is not None and remaining <= 0:
                 result.stats.truncated = True
                 return
-            sub_run = _BackwardRun(
-                self, second_prepared, budget, result.stats, self.prune
-            )
+            sub_run = self._new_run(second_prepared, budget, result.stats)
             result.stats.subqueries += 1
             partners = sub_run.run(
                 self.ring.object_range(node_id),
@@ -881,7 +996,36 @@ class RingRPQEngine:
         inv = dictionary.inverse_predicate(pid)
         b, e = ring.predicate_range(pid)
         height = ring.L_s.height
-        for subject, _, _ in ring.L_s.range_distinct(b, e):
+
+        subjects = [s for s, _, _ in ring.L_s.range_distinct(b, e)]
+        if self.batch and len(subjects) >= 2:
+            # All subjects map through C_o and the Eq. 4–5 step with the
+            # batch kernels (two vectorized walks instead of 3·height
+            # scalar ranks per subject); only the per-pair emit loop
+            # stays scalar.  Counters accrue per subject as the emit
+            # loop reaches it, so truncated runs account like the
+            # scalar path.
+            obj_ranges = ring.object_ranges_many(subjects)
+            steps = ring.backward_step_many(obj_ranges, inv)
+            for i, subject in enumerate(subjects):
+                budget.tick()
+                subject_label = dictionary.node_label(subject)
+                result.stats.product_edges += 1
+                result.stats.backward_steps += 1
+                result.stats.object_ranges += 1
+                result.stats.storage_ops += 3 * height
+                for obj, _, _ in ring.L_s.range_distinct(
+                    int(steps[i, 0]), int(steps[i, 1])
+                ):
+                    result.pairs.add(
+                        (subject_label, dictionary.node_label(obj))
+                    )
+                    if limit is not None and len(result.pairs) >= limit:
+                        result.stats.truncated = True
+                        return
+            return
+
+        for subject in subjects:
             budget.tick()
             subject_label = dictionary.node_label(subject)
             ob, oe = ring.object_range(subject)
@@ -944,7 +1088,40 @@ class RingRPQEngine:
     # ------------------------------------------------------------------
 
     def _prepare(self, expr: RegexNode, stats: QueryStats) -> _Prepared:
-        prepared = _Prepared(expr, self.index)
+        """Compile ``expr`` (or fetch the compilation from cache).
+
+        Expression trees are immutable value objects, so they key both
+        a per-``evaluate`` memo (a v-to-v evaluation prepares the same
+        expression and its reverse up to three times) and a bounded
+        per-engine LRU that persists across calls — benchmark loops and
+        dashboards re-issue the same patterns constantly.  A cached
+        entry still refreshes the per-query stats fields.
+        """
+        stats.prepares += 1
+        obs = self.metrics
+        prepared = None
+        memo = self._call_memo
+        if memo is not None:
+            prepared = memo.get(expr)
+        if prepared is None and self._prepare_cache_size:
+            prepared = self._prepare_cache.get(expr)
+            if prepared is not None:
+                self._prepare_cache.move_to_end(expr)
+        if prepared is not None:
+            stats.prepare_cache_hits += 1
+            if obs.enabled:
+                obs.inc("engine.prepare_cache_hits")
+        else:
+            prepared = _Prepared(expr, self.index)
+            if obs.enabled:
+                obs.inc("engine.prepare_builds")
+            if self._prepare_cache_size:
+                cache = self._prepare_cache
+                cache[expr] = prepared
+                while len(cache) > self._prepare_cache_size:
+                    cache.popitem(last=False)
+        if memo is not None:
+            memo[expr] = prepared
         stats.nfa_states = max(stats.nfa_states, prepared.automaton.num_states)
         stats.b_entries = max(stats.b_entries, len(prepared.b_masks))
         return prepared

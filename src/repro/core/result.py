@@ -93,6 +93,14 @@ class QueryStats:
     #: Object ranges fetched from ``C_o`` to continue the traversal.
     object_ranges: int = 0
 
+    # -- query compilation ---------------------------------------------
+    #: Calls to the engine's ``_prepare`` (automaton + mask builds
+    #: requested; v-to-v evaluation asks three times per query).
+    prepares: int = 0
+    #: ``_prepare`` calls served from the bounded LRU cache or the
+    #: per-evaluation memo instead of rebuilding the automaton.
+    prepare_cache_hits: int = 0
+
     def operation_counts(self) -> dict[str, int]:
         """The flat operation counters, by name.
 
@@ -118,6 +126,8 @@ class QueryStats:
             "backward_steps": self.backward_steps,
             "object_ranges": self.object_ranges,
             "subqueries": self.subqueries,
+            "prepares": self.prepares,
+            "prepare_cache_hits": self.prepare_cache_hits,
             # derived: the engine's inlined descents perform exactly two
             # level-bitvector ranks per expanded internal node
             "rank_ops": self.lp_children + self.ls_children,

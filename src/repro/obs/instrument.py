@@ -157,16 +157,26 @@ def instrument_ring(ring, metrics: Metrics):
     an instance attribute shadowing the bound method — removed on exit.
     """
     inner = ring.backward_step
+    inner_many = ring.backward_step_many
 
     def backward_step(b_o: int, e_o: int, p: int) -> tuple[int, int]:
         metrics.inc("ring.backward_step")
         return inner(b_o, e_o, p)
 
+    def backward_step_many(ranges, p: int):
+        # A batch of k ranges counts as k steps — same semantics as k
+        # scalar calls, just one kernel invocation.
+        out = inner_many(ranges, p)
+        metrics.inc("ring.backward_step", len(out))
+        return out
+
     ring.backward_step = backward_step
+    ring.backward_step_many = backward_step_many
     try:
         yield metrics
     finally:
         del ring.__dict__["backward_step"]
+        del ring.__dict__["backward_step_many"]
 
 
 @contextmanager

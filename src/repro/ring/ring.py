@@ -57,6 +57,20 @@ class BoundaryArray:
             self._ef = None
         self._py = None
 
+    def gather(self, indices) -> np.ndarray:
+        """Vectorized multi-index read, as an ``int64`` array.
+
+        Plain arrays use one numpy fancy-index gather; the Elias-Fano
+        encoding falls back to a per-index loop.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        if self._plain is not None:
+            return self._plain[idx].astype(np.int64, copy=False)
+        return np.fromiter(
+            (self._ef.get(int(i)) for i in idx), dtype=np.int64,
+            count=len(idx),
+        )
+
     def fast_list(self) -> "list[int] | None":
         """Plain Python-int list view, or ``None`` when Elias-Fano
         encoded (callers then fall back to ``__getitem__``)."""
@@ -248,6 +262,32 @@ class Ring:
         rank_b, rank_e = self.L_p.rank_pair(p, b_o, e_o)
         base = int(self.C_p[p])
         return (base + rank_b, base + rank_e)
+
+    def backward_step_many(self, ranges, p: int) -> np.ndarray:
+        """Bulk Eq. 4–5 steps: many ``L_p`` ranges, one predicate.
+
+        ``ranges`` is a sequence of ``(b_o, e_o)`` pairs (or a
+        ``(k, 2)`` array); the result is the ``(k, 2)`` int64 array of
+        the corresponding ``L_s`` ranges.  All ranges ride one
+        root-to-leaf path walk of ``L_p`` with vectorized rank calls,
+        so the per-step Python overhead of :meth:`backward_step` is
+        paid once per *batch* instead of once per range.
+        """
+        arr = np.asarray(ranges, dtype=np.int64).reshape(-1, 2)
+        rank_b, rank_e = self.L_p.rank_pair_many(p, arr[:, 0], arr[:, 1])
+        base = int(self.C_p[p])
+        out = np.empty_like(arr)
+        out[:, 0] = base + rank_b
+        out[:, 1] = base + rank_e
+        return out
+
+    def object_ranges_many(self, nodes) -> np.ndarray:
+        """Bulk :meth:`object_range`: a ``(k, 2)`` array for ``k`` objects."""
+        idx = np.asarray(nodes, dtype=np.int64)
+        out = np.empty((len(idx), 2), dtype=np.int64)
+        out[:, 0] = self.C_o.gather(idx)
+        out[:, 1] = self.C_o.gather(idx + 1)
+        return out
 
     def subject_backward_step(self, b_s: int, e_s: int, s: int) -> tuple[int, int]:
         """Backward step from an ``L_s`` range by subject ``s``.

@@ -24,6 +24,7 @@ from repro._util.bits import (
     WORD_BITS,
     pack_bool_array,
     popcount_words_cumulative,
+    rank1_many_words,
     unpack_words,
 )
 from repro.errors import InvariantViolation
@@ -43,7 +44,10 @@ class BitVector:
     ``rank1(i)`` counts ones strictly before position ``i``.
     """
 
-    __slots__ = ("_n", "_words", "_cum", "_words_py", "_cum_py")
+    __slots__ = (
+        "_n", "_words", "_cum", "_words_py", "_cum_py", "_cum64",
+        "_words_ext",
+    )
 
     def __init__(self, bits: Iterable[int] | np.ndarray):
         if isinstance(bits, np.ndarray):
@@ -66,6 +70,10 @@ class BitVector:
         # so space accounting keeps using the numpy buffers.
         self._words_py: list[int] = self._words.tolist()
         self._cum_py: list[int] = cum.tolist()
+        # int64 directory for the vectorized rank kernel, built lazily:
+        # gathered counts then need no upcast inside rank1_many.
+        self._cum64: np.ndarray | None = None
+        self._words_ext: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -99,8 +107,9 @@ class BitVector:
             i += self._n
         if not 0 <= i < self._n:
             raise IndexError(f"bit index {i} out of range [0, {self._n})")
-        word, offset = divmod(i, WORD_BITS)
-        return (int(self._words[word]) >> offset) & 1
+        # Index the Python-int mirror: under CPython a list access plus
+        # int shift is several times faster than a numpy scalar extract.
+        return (self._words_py[i >> 6] >> (i & 63)) & 1
 
     def __iter__(self) -> Iterator[int]:
         return iter(self.to_array())
@@ -136,6 +145,49 @@ class BitVector:
             count += (self._words_py[word] & ((1 << offset) - 1)).bit_count()
         return count
 
+    def batch_data(self) -> tuple[np.ndarray, np.ndarray, int]:
+        """``(words_ext, cum64, n)`` for the vectorized rank kernel.
+
+        ``cum64`` is the rank directory widened to ``int64`` (cached on
+        first use) so :func:`repro._util.bits.rank1_many_words` gathers
+        counts that need no further upcast; ``words_ext`` is the
+        payload plus one zero sentinel word (``len == len(cum64)``) so
+        the kernel's word gather needs no boundary clamp.
+        """
+        if self._cum64 is None:
+            self._cum64 = self._cum.astype(np.int64)
+            self._words_ext = np.concatenate(
+                (self._words, np.zeros(1, dtype=np.uint64))
+            )
+        return self._words_ext, self._cum64, self._n
+
+    def rank1_many(self, positions: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`rank1` over an ``int64`` position array.
+
+        Positions are clamped into ``[0, n]`` like the scalar path.
+        One gather + mask + popcount pass; the per-position Python cost
+        of the scalar loop is what the batched traversal kernels avoid.
+        """
+        words, cum64, n = self.batch_data()
+        return rank1_many_words(words, cum64, n, positions)
+
+    def rank_pair_many(self, bs: np.ndarray, es: np.ndarray) -> tuple[
+            np.ndarray, np.ndarray]:
+        """Vectorized rank over range endpoint pairs.
+
+        Equivalent to ``(rank1_many(bs), rank1_many(es))`` but with a
+        single kernel invocation over the concatenated endpoints, which
+        halves the fixed numpy dispatch overhead per batch — the shape
+        every wavelet-descent level needs.
+        """
+        bs = np.asarray(bs, dtype=np.int64)
+        es = np.asarray(es, dtype=np.int64)
+        words, cum64, n = self.batch_data()
+        both = rank1_many_words(
+            words, cum64, n, np.concatenate((bs, es))
+        )
+        return both[: len(bs)], both[len(bs):]
+
     def rank0(self, i: int) -> int:
         """Number of 0-bits in positions ``[0, i)``; O(1)."""
         if i <= 0:
@@ -156,8 +208,8 @@ class BitVector:
         if j < 0 or j >= self.num_ones:
             raise IndexError(f"select1({j}) out of range: {self.num_ones} ones")
         word = int(np.searchsorted(self._cum, j, side="right")) - 1
-        remaining = j - int(self._cum[word])
-        bits = int(self._words[word])
+        remaining = j - self._cum_py[word]
+        bits = self._words_py[word]
         return word * WORD_BITS + _select_in_word(bits, remaining)
 
     def select0(self, j: int) -> int:
@@ -167,17 +219,18 @@ class BitVector:
                 f"select0({j}) out of range: {self.num_zeros} zeros"
             )
         # Zero-count prefix per word boundary: w*64 - cum[w], monotone in w.
+        cum_py = self._cum_py
         lo, hi = 0, len(self._words)
         while lo < hi:
             mid = (lo + hi) // 2
-            zeros_before = mid * WORD_BITS - int(self._cum[mid])
+            zeros_before = mid * WORD_BITS - cum_py[mid]
             if zeros_before <= j:
                 lo = mid + 1
             else:
                 hi = mid
         word = lo - 1
-        remaining = j - (word * WORD_BITS - int(self._cum[word]))
-        bits = ~int(self._words[word]) & ((1 << WORD_BITS) - 1)
+        remaining = j - (word * WORD_BITS - cum_py[word])
+        bits = ~self._words_py[word] & ((1 << WORD_BITS) - 1)
         return word * WORD_BITS + _select_in_word(bits, remaining)
 
     def select(self, bit: int, j: int) -> int:

@@ -26,6 +26,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 import numpy as np
 
+from repro._util.bits import rank1_many_words
 from repro.errors import ConstructionError
 from repro.succinct.bitvector import BitVector
 
@@ -105,7 +106,7 @@ class WaveletMatrix:
     """
 
     __slots__ = ("_n", "_sigma", "_height", "_levels", "_zeros",
-                 "_counts", "_bottom_start", "_class_cum")
+                 "_counts", "_bottom_start", "_class_cum", "_batch_cache")
 
     def __init__(self, values: Iterable[int] | np.ndarray, sigma: int | None = None):
         seq = np.asarray(
@@ -162,6 +163,7 @@ class WaveletMatrix:
             bottom_start[c] = acc
             acc += int(counts[c])
         self._bottom_start = bottom_start
+        self._batch_cache: tuple | None = None
 
     # ------------------------------------------------------------------
     # Basic facts
@@ -235,6 +237,30 @@ class WaveletMatrix:
                 b = bv.rank0(b)
                 e = bv.rank0(e)
         return b - start, e - start
+
+    def rank_pair_many(self, symbol: int, bs, es) -> tuple[
+            np.ndarray, np.ndarray]:
+        """Vectorized :meth:`rank_pair`: many ranges, one symbol.
+
+        Walks the symbol's root-to-leaf path once, mapping *all* range
+        endpoints down each level with a single vectorized rank call —
+        the bulk shape of the backward-search step (Eqs. 4–5).
+        """
+        bs = np.clip(np.asarray(bs, dtype=np.int64), 0, self._n)
+        es = np.clip(np.asarray(es, dtype=np.int64), 0, self._n)
+        self._check_symbol(symbol)
+        k = len(bs)
+        pos = np.concatenate((bs, es))
+        levels, zeros, height, _, _, bottom_start = self.batch_data()
+        for level in range(height):
+            words, cum64, n_bits = levels[level]
+            ranks = rank1_many_words(words, cum64, n_bits, pos)
+            if (symbol >> (height - 1 - level)) & 1:
+                pos = zeros[level] + ranks
+            else:
+                pos = pos - ranks
+        start = int(bottom_start[symbol])
+        return pos[:k] - start, pos[k:] - start
 
     def select(self, symbol: int, j: int) -> int:
         """Position of the ``j``-th (0-based) occurrence of ``symbol``."""
@@ -313,6 +339,111 @@ class WaveletMatrix:
             self._class_cum.tolist(),
             self._bottom_start.tolist(),
         )
+
+    def batch_data(self) -> tuple:
+        """Numpy counterpart of :meth:`traversal_data`, cached.
+
+        Returns ``(levels, zeros, height, sigma, class_cum,
+        bottom_start)`` where ``levels[l]`` is ``(words, cum64,
+        n_bits)`` with ``words`` as ``uint64`` and ``cum64`` the
+        ``int64`` rank directory — the inputs
+        :func:`repro._util.bits.rank1_many_words` wants.  Built once
+        and cached; treat everything as read-only.
+        """
+        if self._batch_cache is None:
+            self._batch_cache = (
+                [bv.batch_data() for bv in self._levels],
+                list(self._zeros),
+                self._height,
+                self._sigma,
+                self._class_cum,
+                self._bottom_start,
+            )
+        return self._batch_cache
+
+    def descend_batch(self, ranges, prune_fn=None) -> tuple[
+            np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Level-synchronous batched descent over many root ranges.
+
+        The frontier of surviving ``(origin, prefix, begin, end)``
+        nodes is carried *whole* from level to level: each level costs
+        one vectorized rank call over the concatenated range endpoints
+        instead of two scalar ranks per node.  Because the wavelet
+        matrix is a perfect tree (every leaf sits at ``height``) and
+        children are emitted in ``[left, right]`` order, the surviving
+        leaves appear exactly in the order the scalar stack walk of
+        :meth:`range_distinct` reports them: origin-major, symbol
+        ascending.
+
+        Parameters
+        ----------
+        ranges:
+            Sequence of ``(b, e)`` root ranges (or an ``(k, 2)``
+            array).  Endpoints are clamped into ``[0, n]``.
+        prune_fn:
+            Optional ``prune_fn(level, origins, prefixes, begins,
+            ends) -> bool mask`` called once per level on the
+            *non-empty* frontier; ``False`` entries are dropped with
+            their whole subtree.  At the leaf level (``level ==
+            height``) ``begins``/``ends`` are bottom-sequence
+            positions (the per-symbol offset is subtracted only for
+            the returned values).
+
+        Returns ``(origins, symbols, rank_bs, rank_es)`` int64 arrays:
+        one entry per distinct symbol of each surviving range, where
+        ``rank_b``/``rank_e`` are the symbol ranks at the range
+        endpoints — the same triples :meth:`range_distinct` yields,
+        with the originating range index alongside.
+        """
+        arr = np.asarray(ranges, dtype=np.int64).reshape(-1, 2)
+        levels, zeros, height, sigma, _, bottom_start = self.batch_data()
+        empty = np.zeros(0, dtype=np.int64)
+        if arr.size == 0:
+            return empty, empty, empty, empty
+        origin = np.arange(len(arr), dtype=np.int64)
+        prefix = np.zeros(len(arr), dtype=np.int64)
+        b = np.clip(arr[:, 0], 0, self._n)
+        e = np.clip(arr[:, 1], 0, self._n)
+        for level in range(height):
+            keep = e > b
+            if prune_fn is not None and keep.any():
+                origin, prefix, b, e = (
+                    origin[keep], prefix[keep], b[keep], e[keep]
+                )
+                keep = prune_fn(level, origin, prefix, b, e)
+            if not keep.all():
+                origin, prefix, b, e = (
+                    origin[keep], prefix[keep], b[keep], e[keep]
+                )
+            k = len(b)
+            if k == 0:
+                return empty, empty, empty, empty
+            words, cum64, n_bits = levels[level]
+            ranks = rank1_many_words(
+                words, cum64, n_bits, np.concatenate((b, e))
+            )
+            r1b, r1e = ranks[:k], ranks[k:]
+            z = zeros[level]
+            origin = np.repeat(origin, 2)
+            next_prefix = np.empty(2 * k, dtype=np.int64)
+            next_b = np.empty(2 * k, dtype=np.int64)
+            next_e = np.empty(2 * k, dtype=np.int64)
+            next_prefix[0::2] = prefix << 1
+            next_prefix[1::2] = (prefix << 1) | 1
+            next_b[0::2] = b - r1b
+            next_b[1::2] = z + r1b
+            next_e[0::2] = e - r1e
+            next_e[1::2] = z + r1e
+            prefix, b, e = next_prefix, next_b, next_e
+        keep = (e > b) & (prefix < sigma)
+        origin, prefix, b, e = origin[keep], prefix[keep], b[keep], e[keep]
+        if prune_fn is not None and len(b):
+            keep = prune_fn(height, origin, prefix, b, e)
+            origin, prefix, b, e = (
+                origin[keep], prefix[keep], b[keep], e[keep]
+            )
+        start = bottom_start[prefix]
+        return origin, prefix, b - start, e - start
 
     def node_occurrences(self, node: WaveletNode) -> int:
         """Total sequence positions under conceptual node ``node``.
