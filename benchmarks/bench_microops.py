@@ -167,6 +167,35 @@ def test_wavelet_descend_batch(benchmark, matrix):
     assert benchmark(descend) > 0
 
 
+def test_metrics_enabled_overhead_gate(bench_index):
+    """Enabled-but-untraced telemetry must stay cheap.
+
+    A live :class:`Metrics` registry with no trace buffer and no span
+    stack turns on the counter/phase-timer paths but skips every
+    allocation-heavy branch; this gate bounds its per-query overhead
+    against the NULL_METRICS default.  The acceptance figure is 5%;
+    the assertion is deliberately lenient (35%) because best-of-5
+    query timing on a shared CI box is noisy, while the printed ratio
+    tracks the real number run to run.
+    """
+    from repro.obs.metrics import Metrics
+
+    engine = bench_index.engine
+    query = "(?x, (p0|p1)+, ?y)"
+    engine.evaluate(query)  # warm caches
+
+    null_t = _best_of(lambda: engine.evaluate(query), repeats=5)
+    enabled_t = _best_of(
+        lambda: engine.evaluate(query, metrics=Metrics()), repeats=5
+    )
+    ratio = enabled_t / null_t
+    print(f"\nenabled-but-untraced overhead: {ratio:.3f}x "
+          f"(null {null_t * 1e3:.2f} ms, enabled {enabled_t * 1e3:.2f} ms)")
+    assert ratio <= 1.35, (
+        f"metrics-enabled run {ratio:.2f}x slower than NULL_METRICS"
+    )
+
+
 def test_ring_backward_step_batched(benchmark, bench_index):
     """Bulk Eq. 4-5 steps against the per-range scalar walk."""
     benchmark.group = "micro-ops"

@@ -44,8 +44,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.automata.glushkov import (
+    build_glushkov,
+    resolve_atom_to_predicates,
+)
 from repro.bench.runner import BenchmarkResults, QueryRecord
 from repro.bench.stats import Summary, summarize
+from repro.core.query import as_query
 
 #: Modeled per-storage-operation cost, in seconds.
 DEFAULT_COSTS = {
@@ -124,3 +129,110 @@ class CostModel:
             if best is not None:
                 wins[pattern] = best
         return wins
+
+
+# ----------------------------------------------------------------------
+# Pre-execution work estimation (EXPLAIN)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlanEstimate:
+    """Predicted traversal work for one query, before running it.
+
+    The estimates are coarse upper bounds derived from index statistics
+    alone (predicate cardinalities off ``C_p``, alphabet sizes, wavelet
+    heights) — the same inputs the §5 planner reads.  ``repro explain
+    --analyze`` puts them next to the actual :class:`QueryStats`
+    counters; large misestimation ratios are exactly where the
+    ``B[v]``/``D[v]`` pruning beats (or loses to) the selectivity-only
+    view of the query.
+    """
+
+    query: str
+    shape: str
+    #: Graph edges carrying any predicate of the automaton's B table.
+    edges: int
+    #: Bound on distinct product-graph node visits per traversal.
+    touched_nodes: int
+    #: Estimated Eq. 4–5 backward-search steps.
+    backward_steps: int
+    #: Estimated L_p wavelet nodes visited (§4.1 descents).
+    lp_nodes: int
+    #: Estimated L_s wavelet nodes visited (§4.2 descents).
+    ls_nodes: int
+    #: Estimated rank operations (2 per visited internal node).
+    storage_ops: int
+    #: ``storage_ops`` priced at the ring's modeled per-op cost.
+    modeled_seconds: float
+
+    def counts(self) -> dict[str, int]:
+        """The estimated counters, keyed like ``QueryStats`` fields."""
+        return {
+            "lp_nodes": self.lp_nodes,
+            "ls_nodes": self.ls_nodes,
+            "backward_steps": self.backward_steps,
+            "storage_ops": self.storage_ops,
+        }
+
+
+def estimate_rpq_cost(
+    index, query, cost_per_op: float = DEFAULT_COSTS["ring"],
+) -> PlanEstimate:
+    """Estimate the traversal work of ``query`` against ``index``.
+
+    The model, phase by phase:
+
+    * every edge whose predicate appears in the automaton's ``B`` table
+      can cross the traversal at most a constant number of times, so
+      ``edges`` bounds the backward steps;
+    * each product-graph expansion runs one L_p descent whose frontier
+      can touch at most ``min(2^level, |B|)`` nodes per level (the
+      descent forks only toward predicates in the ``B`` table);
+      expansions are bounded by the nodes touched,
+      ``min(|V|, edges)``;
+    * each backward step runs one L_s descent; the ``D[v]`` marks make
+      total L_s work output-sensitive — each *distinct* subject is
+      discovered along one root-to-leaf path, giving
+      ``touched × (height + 1)`` visited nodes;
+    * variable-to-variable queries pay everything twice (the full-range
+      binding pass, then the anchored runs over the reverse automaton).
+    """
+    rpq = as_query(query)
+    shape = rpq.shape()
+    automaton = build_glushkov(rpq.expr)
+    dictionary = index.dictionary
+    ring = index.ring
+    b_masks = automaton.b_masks(
+        lambda atom: resolve_atom_to_predicates(atom, dictionary)
+    )
+    pids = sorted(b_masks)
+    edges = sum(ring.predicate_count(pid) for pid in pids)
+    touched = min(ring.num_nodes, edges)
+
+    n_preds = max(1, len(pids))
+    lp_path = sum(
+        min(1 << level, n_preds) for level in range(ring.L_p.height + 1)
+    )
+    descents = max(1, touched)
+    lp_nodes = descents * lp_path
+    ls_nodes = touched * (ring.L_s.height + 1)
+    backward_steps = max(1, edges)
+
+    if shape == "vv":
+        lp_nodes *= 2
+        ls_nodes *= 2
+        backward_steps *= 2
+
+    storage_ops = 2 * (lp_nodes + ls_nodes)
+    return PlanEstimate(
+        query=str(rpq),
+        shape=shape,
+        edges=edges,
+        touched_nodes=touched,
+        backward_steps=backward_steps,
+        lp_nodes=lp_nodes,
+        ls_nodes=ls_nodes,
+        storage_ops=storage_ops,
+        modeled_seconds=min(MODELED_TIMEOUT, storage_ops * cost_per_op),
+    )

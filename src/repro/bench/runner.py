@@ -17,7 +17,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.bench.patterns import classify_query
-from repro.bench.stats import FiveNumber, Summary, summarize
+from repro.bench.stats import (
+    FiveNumber,
+    Summary,
+    percentile,
+    percentiles,
+    summarize,
+)
 from repro.core.query import RPQ
 
 
@@ -112,6 +118,14 @@ class BenchmarkResults:
             return 0.0
         return sum(r.counters.get(name, 0) for r in selected) / len(selected)
 
+    def clamped_times(self, engine: str, shape: str | None = None,
+                      pattern: str | None = None) -> list[float]:
+        """Per-query timings clamped at the timeout for one cell."""
+        return [
+            self.timeout if r.timed_out else min(r.elapsed, self.timeout)
+            for r in self._select(engine, shape=shape, pattern=pattern)
+        ]
+
     def counter_names(self, engine: str) -> list[str]:
         """All counter names this engine's records carry, sorted."""
         names: set[str] = set()
@@ -121,31 +135,42 @@ class BenchmarkResults:
 
     def operations_by_pattern(
         self, engine: str, names: "list[str] | None" = None
-    ) -> dict[str, dict[str, float]]:
-        """Mean operation counts per pattern class for one engine.
+    ) -> dict[str, dict[str, dict[str, float]]]:
+        """Operation-count distributions per pattern class for one engine.
 
         This is the observability companion of the Fig. 8 timing
-        boxplots: for every pattern class it reports the average of
-        each named counter, so claims like "pruning suppresses wavelet
-        work on ``p*`` queries" become checkable numbers instead of
-        wall-clock anecdotes.
+        boxplots: for every pattern class and every named counter it
+        reports ``{"mean", "p50", "p90", "p99"}``, so claims like
+        "pruning suppresses wavelet work on ``p*`` queries" become
+        checkable numbers instead of wall-clock anecdotes — and a mean
+        inflated by one pathological query is visible as a mean far
+        above its own p90.
         """
         if names is None:
             names = self.counter_names(engine)
-        table: dict[str, dict[str, float]] = {}
+        table: dict[str, dict[str, dict[str, float]]] = {}
         for pattern in self.patterns():
-            table[pattern] = {
-                name: self.mean_counter(engine, name, pattern=pattern)
-                for name in names
-            }
+            selected = self._select(engine, pattern=pattern)
+            row: dict[str, dict[str, float]] = {}
+            for name in names:
+                values = [float(r.counters.get(name, 0))
+                          for r in selected]
+                if not values:
+                    row[name] = {"mean": 0.0, "p50": 0.0,
+                                 "p90": 0.0, "p99": 0.0}
+                    continue
+                row[name] = {
+                    "mean": sum(values) / len(values),
+                    "p50": percentile(values, 50),
+                    "p90": percentile(values, 90),
+                    "p99": percentile(values, 99),
+                }
+            table[pattern] = row
         return table
 
     def pattern_times(self, engine: str, pattern: str) -> list[float]:
         """Clamped per-query timings for one (engine, pattern) cell."""
-        return [
-            self.timeout if r.timed_out else min(r.elapsed, self.timeout)
-            for r in self._select(engine, pattern=pattern)
-        ]
+        return self.clamped_times(engine, pattern=pattern)
 
     def pattern_summary(self, engine: str,
                         pattern: str) -> FiveNumber | None:
@@ -228,23 +253,28 @@ def engine_bench_report(
     """One engine's run as a plain JSON-ready dict.
 
     The report carries per-shape (``c-to-v`` / ``v-to-v``) and
-    per-pattern-class mean/median wall-clock plus mean operation
-    counters, so successive PRs can be compared number-for-number.
+    per-pattern-class mean/median wall-clock, tail percentiles
+    (p50/p90/p95/p99/max of the clamped timings), and mean operation
+    counters, so successive PRs can be compared number-for-number —
+    including tail regressions a mean would smooth over.
     """
 
-    def _summary_dict(summary: Summary) -> dict:
+    def _summary_dict(summary: Summary, times: list[float]) -> dict:
         return {
             "count": summary.count,
             "mean_seconds": summary.average,
             "median_seconds": summary.median,
             "timeouts": summary.timeouts,
+            "percentiles": percentiles(times),
         }
 
     shapes = {}
     for shape in ("c-to-v", "v-to-v"):
         summary = results.summary(engine, shape=shape)
         if summary.count:
-            shapes[shape] = _summary_dict(summary)
+            shapes[shape] = _summary_dict(
+                summary, results.clamped_times(engine, shape=shape)
+            )
 
     patterns = {}
     for pattern in results.patterns():
@@ -257,7 +287,7 @@ def engine_bench_report(
             [r.timed_out for r in selected],
             results.timeout,
         )
-        entry = _summary_dict(summary)
+        entry = _summary_dict(summary, times)
         entry["shape"] = selected[0].shape
         entry["counters"] = {
             name: results.mean_counter(engine, name, pattern=pattern)
@@ -266,9 +296,11 @@ def engine_bench_report(
         patterns[pattern] = entry
 
     report = {
-        "schema": "bench-engine/v1",
+        "schema": "bench-engine/v2",
         "engine": engine,
-        "overall": _summary_dict(results.summary(engine)),
+        "overall": _summary_dict(
+            results.summary(engine), results.clamped_times(engine)
+        ),
         "shapes": shapes,
         "patterns": patterns,
     }
@@ -297,12 +329,16 @@ def run_benchmark(
     queries: list[RPQ],
     timeout: float = 2.0,
     limit: int | None = 100_000,
+    slow_log=None,
 ) -> BenchmarkResults:
     """Evaluate every query on every engine.
 
     Engines must expose ``evaluate(query, timeout=..., limit=...)``
     returning a :class:`~repro.core.result.QueryResult` — both the ring
-    engine and every baseline do.
+    engine and every baseline do.  Pass a
+    :class:`~repro.obs.slowlog.SlowQueryLog` as ``slow_log`` to retain
+    the K worst (engine, query) evaluations of the run with their
+    counter snapshots.
     """
     results = BenchmarkResults(timeout=timeout)
     for query in queries:
@@ -310,18 +346,30 @@ def run_benchmark(
         shape = query_shape_class(query)
         for name, engine in engines.items():
             outcome = engine.evaluate(query, timeout=timeout, limit=limit)
+            stats = outcome.stats
             results.records.append(
                 QueryRecord(
                     query=query,
                     pattern=pattern,
                     shape=shape,
                     engine=name,
-                    elapsed=outcome.stats.elapsed,
-                    timed_out=outcome.stats.timed_out,
-                    truncated=outcome.stats.truncated,
+                    elapsed=stats.elapsed,
+                    timed_out=stats.timed_out,
+                    truncated=stats.truncated,
                     n_results=len(outcome),
-                    storage_ops=outcome.stats.storage_ops,
-                    counters=outcome.stats.operation_counts(),
+                    storage_ops=stats.storage_ops,
+                    counters=stats.operation_counts(),
                 )
             )
+            if slow_log is not None and slow_log.would_keep(stats.elapsed):
+                slow_log.record(
+                    str(query), stats.elapsed,
+                    n_results=len(outcome),
+                    timed_out=stats.timed_out,
+                    truncated=stats.truncated,
+                    counters=stats.operation_counts(),
+                    engine=name,
+                )
+            elif slow_log is not None:
+                slow_log.total_recorded += 1
     return results

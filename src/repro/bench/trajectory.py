@@ -68,12 +68,17 @@ def main(argv: "list[str] | None" = None) -> None:
     meta = {"label": args.label} if args.label else None
     report = run_trajectory(args.out, meta=meta)
     overall = report["overall"]
+    tails = overall["percentiles"]
     print(f"wrote {args.out}: {overall['count']} queries, "
-          f"mean {overall['mean_seconds']:.4f}s")
+          f"mean {overall['mean_seconds']:.4f}s "
+          f"p50={tails['p50']:.4f}s p95={tails['p95']:.4f}s "
+          f"p99={tails['p99']:.4f}s")
     for shape, summary in sorted(report["shapes"].items()):
+        tails = summary["percentiles"]
         print(f"  {shape}: n={summary['count']} "
               f"mean={summary['mean_seconds']:.4f}s "
               f"median={summary['median_seconds']:.4f}s "
+              f"p95={tails['p95']:.4f}s p99={tails['p99']:.4f}s "
               f"timeouts={summary['timeouts']}")
 
 

@@ -4,6 +4,8 @@ Subcommands::
 
     ring-rpq query GRAPH.nt "(?x, p1/p2*, ?y)"    evaluate one RPQ
     ring-rpq profile GRAPH.nt "(?x, p1+, ?y)"     per-phase cost profile
+    ring-rpq explain GRAPH.nt "(?x, p1+, ?y)"     plan + cost estimates
+                                                   (--analyze: est vs actual)
     ring-rpq match GRAPH.nt ? p ?                  triple-pattern lookup
     ring-rpq stats GRAPH.nt                        index statistics
     ring-rpq bench table1|table2|fig8 [...]        regenerate artifacts
@@ -78,6 +80,36 @@ def cmd_profile(args: argparse.Namespace) -> int:
         with open(args.trace, "w", encoding="utf-8") as fh:
             fh.write(report.to_json())
         print(f"# trace written to {args.trace}", file=sys.stderr)
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs.explain import explain_analyze, format_plan, plan_dict
+
+    index = _load_index(args.graph, args.symmetric)
+    analyze = args.analyze or args.trace is not None
+    if not analyze:
+        if args.json:
+            import json
+
+            print(json.dumps(plan_dict(index, args.query), indent=2))
+        else:
+            print(format_plan(index, args.query))
+        return 0
+    report = explain_analyze(
+        index,
+        args.query,
+        timeout=args.timeout,
+        limit=args.limit,
+        span_capacity=args.span_capacity,
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format())
+    if args.trace is not None:
+        report.write_chrome_trace(args.trace)
+        print(f"# chrome trace written to {args.trace}", file=sys.stderr)
     return 0
 
 
@@ -177,6 +209,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-capacity", type=int, default=10_000,
                    help="ring-buffer size for retained trace events")
     p.set_defaults(func=cmd_profile)
+
+    e = sub.add_parser(
+        "explain",
+        help="show the query plan (automaton, B table, strategy, cost "
+             "estimates); --analyze also runs it and compares estimated "
+             "vs. actual work",
+    )
+    e.add_argument("graph", help="triple file (s p o per line)")
+    e.add_argument("query", help='e.g. "(?x, p1/p2*, ?y)"')
+    e.add_argument("--analyze", action="store_true",
+                   help="run the query and report estimated vs. actual "
+                        "counters per phase")
+    e.add_argument("--timeout", type=float, default=None)
+    e.add_argument("--limit", type=int, default=1_000_000)
+    e.add_argument("--symmetric", nargs="*", default=[],
+                   help="predicates stored bidirectionally")
+    e.add_argument("--json", action="store_true",
+                   help="print the plan/report as JSON")
+    e.add_argument("--trace", metavar="OUT.json", default=None,
+                   help="write the captured spans as a Chrome trace-event "
+                        "file (implies --analyze)")
+    e.add_argument("--span-capacity", type=int, default=100_000,
+                   help="maximum spans retained during --analyze")
+    e.set_defaults(func=cmd_explain)
 
     m = sub.add_parser(
         "match", help="triple-pattern lookup (use ? for wildcards)"

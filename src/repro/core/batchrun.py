@@ -199,11 +199,16 @@ class BatchedBackwardRun:
         if not entries:
             return self._next_wave
         obs = self.obs
+        spans = obs.spans if obs.enabled else None
+        wave_span = None
         if obs.enabled:
             obs.inc("engine.steps", len(entries))
             if obs.tracing:
                 for _, b, e, d in entries:
                     obs.record("step", range=(b, e), states=d)
+            if spans is not None:
+                wave_span = spans.start("wave")
+                wave_span.set(width=len(entries))
         if len(entries) < _LP_WAVE_MIN:
             for ai, b_o, e_o, d in entries:
                 self._expand_entry_scalar(ai, b_o, e_o, d)
@@ -215,11 +220,16 @@ class BatchedBackwardRun:
             self._tick_flush()
             if not self.done:
                 self._run_rounds(tasks)
+        if wave_span is not None:
+            wave_span.set(next_width=len(self._next_wave))
+            spans.end(wave_span)
         return self._next_wave
 
     def _run_rounds(self, tasks):
         """Drain per-anchor L_s task queues, one round-robin round at a
         time; a round merges at most one task per anchor."""
+        obs = self.obs
+        spans = obs.spans if obs.enabled else None
         pending = [(ai, lst) for ai, lst in tasks.items() if lst]
         while pending and not self.done:
             round_tasks = []
@@ -229,6 +239,10 @@ class BatchedBackwardRun:
                 if lst:
                     still.append((ai, lst))
             pending = still
+            round_span = None
+            if spans is not None:
+                round_span = spans.start("ls_round")
+                round_span.set(width=len(round_tasks))
             if len(round_tasks) < _LS_ROUND_MIN:
                 for ai, b_s, e_s, d_next in round_tasks:
                     self._collect_scalar(ai, b_s, e_s, d_next)
@@ -238,6 +252,8 @@ class BatchedBackwardRun:
             else:
                 self._collect_round(round_tasks)
                 self._tick_flush()
+            if round_span is not None:
+                spans.end(round_span)
 
     def _tick_flush(self):
         """Fire the accumulated timeout ticks at a balanced point."""
@@ -273,11 +289,16 @@ class BatchedBackwardRun:
         obs = self.obs
         timed = obs.enabled
         tracing = obs.tracing
+        spans = obs.spans if timed else None
         now = time.monotonic
         if timed:
             t_start = now()
 
         k0 = len(entries)
+        lp_span = None
+        if spans is not None:
+            lp_span = spans.start("lp_wave")
+            lp_span.set(width=k0)
         stats.lp_descents += k0
         d_list = [entry[3] for entry in entries]
         eidx = np.arange(k0, dtype=np.int64)
@@ -370,6 +391,10 @@ class BatchedBackwardRun:
         stats.storage_ops += lp_children
         self._tick_carry += examined
         if k:
+            ring_span = None
+            if spans is not None:
+                ring_span = spans.start("ring.steps")
+                ring_span.set(leaves=k)
             product_edges = 0
             eidx_l = eidx.tolist()
             prefix_l = prefix.tolist()
@@ -399,6 +424,11 @@ class BatchedBackwardRun:
                 )
             stats.product_edges += product_edges
             stats.backward_steps += product_edges
+            if ring_span is not None:
+                ring_span.set(steps=product_edges)
+                spans.end(ring_span)
+        if lp_span is not None:
+            spans.end(lp_span)
         if timed:
             obs.add_phase("predicates_from_objects", now() - t_start)
         return tasks

@@ -189,18 +189,25 @@ class _BackwardRun:
         obs = self.obs
         enabled = obs.enabled
         tracing = obs.tracing
+        spans = obs.spans if enabled else None
 
         while queue:
             (b_o, e_o), d = pop()
             if b_o >= e_o:
                 continue
+            step_span = None
             if enabled:
                 obs.inc("engine.steps")
                 if tracing:
                     obs.record("step", range=(b_o, e_o), states=d)
+                if spans is not None:
+                    step_span = spans.start("step")
             done = self._expand(
                 b_o, e_o, d, queue, reported, max_reported, target
             )
+            if step_span is not None:
+                step_span.set(range=(b_o, e_o))
+                spans.end(step_span)
             if done:
                 break
         self.stats.visited_nodes = max(
@@ -495,10 +502,18 @@ class RingRPQEngine:
         (an expression and its reverse recur across phases).
     metrics:
         A :class:`~repro.obs.metrics.Metrics` registry receiving phase
-        timers and trace events; defaults to the no-op
-        :data:`~repro.obs.metrics.NULL_METRICS` (operation *counters*
-        always accumulate in :class:`QueryStats` regardless).  Can also
-        be supplied per call via :meth:`evaluate`.
+        timers, trace events, latency histograms and (when built with
+        ``span_capacity > 0``) hierarchical spans; defaults to the
+        no-op :data:`~repro.obs.metrics.NULL_METRICS` (operation
+        *counters* always accumulate in :class:`QueryStats`
+        regardless).  Can also be supplied per call via
+        :meth:`evaluate`.
+    slow_log:
+        A :class:`~repro.obs.slowlog.SlowQueryLog`; every finished
+        ``evaluate`` offers its query to the log, which retains the K
+        slowest with full counter snapshots (and the captured span
+        subtree when spans are on).  ``None`` (the default) disables
+        the log at the cost of one attribute load per query.
     """
 
     name = "ring"
@@ -513,6 +528,7 @@ class RingRPQEngine:
         batch: bool = True,
         prepare_cache_size: int | None = 128,
         metrics=None,
+        slow_log=None,
     ):
         if traversal not in ("bfs", "dfs"):
             raise ValueError("traversal must be 'bfs' or 'dfs'")
@@ -523,6 +539,7 @@ class RingRPQEngine:
         self.traversal = traversal
         self.batch = batch
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.slow_log = slow_log
         #: Node ids excluded from matching paths (see ``evaluate``).
         self._forbidden_ids: frozenset[int] = frozenset()
         self._lp_data = None
@@ -628,6 +645,14 @@ class RingRPQEngine:
                 if self.dictionary.has_node(label)
             )
         self._call_memo = {}
+        # The ring's coarse batch entry points report through whatever
+        # registry the current evaluation uses; hand it over for the
+        # duration of the call (restored alongside the engine registry).
+        ring = self.ring
+        previous_ring_obs = ring.obs
+        ring.obs = obs
+        spans = obs.spans if obs.enabled else None
+        query_span = spans.start("query") if spans is not None else None
         try:
             if obs.enabled:
                 obs.inc("engine.queries")
@@ -639,10 +664,44 @@ class RingRPQEngine:
         finally:
             self._forbidden_ids = previous
             self.metrics = previous_metrics
+            ring.obs = previous_ring_obs
             self._call_memo = None
+            if query_span is not None:
+                query_span.set(
+                    query=str(rpq), shape=rpq.shape(),
+                    n_results=len(result.pairs),
+                )
+                # Also closes any spans a timeout left open underneath.
+                spans.end(query_span)
         stats.elapsed = budget.elapsed()
         if obs.enabled:
             obs.add_phase("total", stats.elapsed)
+            obs.observe("query.seconds", stats.elapsed)
+            obs.observe("query.results", len(result.pairs))
+            obs.observe("query.backward_steps", stats.backward_steps)
+            obs.observe("query.wavelet_nodes", stats.wavelet_nodes)
+        slow_log = self.slow_log
+        if slow_log is not None:
+            # would_keep gates the snapshot build; fast queries cost
+            # one comparison (record() re-checks and counts them).
+            if slow_log.would_keep(stats.elapsed):
+                slow_log.record(
+                    str(rpq), stats.elapsed,
+                    n_results=len(result.pairs),
+                    timed_out=stats.timed_out,
+                    truncated=stats.truncated,
+                    counters=stats.operation_counts(),
+                    phase_seconds=(
+                        dict(obs.phase_seconds) if obs.enabled else {}
+                    ),
+                    span_tree=(
+                        spans.tree(query_span)
+                        if spans is not None else None
+                    ),
+                    engine=self.name,
+                )
+            else:
+                slow_log.total_recorded += 1
         return result
 
     def explain(self, query: RPQ | str) -> dict:
@@ -764,11 +823,17 @@ class RingRPQEngine:
             return
 
         run = self._new_run(prepared, budget, result.stats)
+        obs = self.metrics
+        spans = obs.spans if obs.enabled else None
+        span = spans.start("run:anchored") if spans is not None else None
         reported = run.run(
             self.ring.object_range(anchor),
             start_node=anchor,
             max_reported=remaining,
         )
+        if span is not None:
+            span.set(anchor=anchor_label, reported=len(reported))
+            spans.end(span)
         result.stats.truncated = result.stats.truncated or run.stats.truncated
         for node_id in reported:
             label = dictionary.node_label(node_id)
@@ -810,11 +875,17 @@ class RingRPQEngine:
                 anchor, target = subject, obj
 
         run = self._new_run(prepared, budget, result.stats)
+        obs = self.metrics
+        spans = obs.spans if obs.enabled else None
+        span = spans.start("run:boolean") if spans is not None else None
         reported = run.run(
             self.ring.object_range(anchor),
             start_node=anchor,
             target=target,
         )
+        if span is not None:
+            span.set(found=target in reported)
+            spans.end(span)
         if target in reported:
             result.pairs.add((rpq.subject, rpq.object))
 
@@ -859,32 +930,76 @@ class RingRPQEngine:
         else:
             first_expr, second_expr = rpq.expr.reverse(), rpq.expr
 
+        obs = self.metrics
+        spans = obs.spans if obs.enabled else None
+
         # Phase 1: one traversal from the full L_p range binds one side.
         first_prepared = self._prepare(first_expr, result.stats)
         run = self._new_run(first_prepared, budget, result.stats)
+        span = spans.start("phase1:bind") if spans is not None else None
         bindings = run.run(
             self.ring.full_range(), start_node=None, max_reported=limit
         )
+        if span is not None:
+            span.set(side=side, bindings=len(bindings))
+            spans.end(span)
 
         # Phase 2: one anchored run per binding, on the other automaton.
         second_prepared = self._prepare(second_expr, result.stats)
         order = sorted(bindings)
+        span = spans.start("phase2:anchors") if spans is not None else None
+        if span is not None:
+            span.set(n_anchors=len(order))
         batched = (
             self.batch
             and self.traversal == "bfs"
             and second_prepared.batchable
         )
-        if batched:
-            # Anchored subqueries are independent (disjoint visited
-            # tables), so chunks of them traverse in lockstep sharing
-            # each BFS wave's kernel calls; provenance stays per-anchor
-            # inside the runner.  The result cap is re-snapshotted per
-            # chunk instead of per anchor — same guarantee (stop once
-            # ``limit`` pairs exist), coarser check.
-            for lo in range(0, len(order), _ANCHOR_BATCH):
-                chunk = order[lo:lo + _ANCHOR_BATCH]
-                for _ in chunk:
-                    budget.tick()
+        try:
+            if batched:
+                # Anchored subqueries are independent (disjoint visited
+                # tables), so chunks of them traverse in lockstep sharing
+                # each BFS wave's kernel calls; provenance stays per-anchor
+                # inside the runner.  The result cap is re-snapshotted per
+                # chunk instead of per anchor — same guarantee (stop once
+                # ``limit`` pairs exist), coarser check.
+                for lo in range(0, len(order), _ANCHOR_BATCH):
+                    chunk = order[lo:lo + _ANCHOR_BATCH]
+                    for _ in chunk:
+                        budget.tick()
+                    remaining = (
+                        None if limit is None else limit - len(result.pairs)
+                    )
+                    if remaining is not None and remaining <= 0:
+                        result.stats.truncated = True
+                        return
+                    sub_run = self._new_run(
+                        second_prepared, budget, result.stats
+                    )
+                    result.stats.subqueries += len(chunk)
+                    partner_sets = sub_run.run_many(
+                        chunk,
+                        self.ring.object_ranges_many(chunk),
+                        max_reported=remaining,
+                    )
+                    for node_id, partners in zip(chunk, partner_sets):
+                        if not partners:
+                            continue
+                        anchor_label = dictionary.node_label(node_id)
+                        for partner in partners:
+                            partner_label = dictionary.node_label(partner)
+                            if side == "subject":
+                                result.pairs.add(
+                                    (anchor_label, partner_label)
+                                )
+                            else:
+                                result.pairs.add(
+                                    (partner_label, anchor_label)
+                                )
+                return
+
+            for node_id in order:
+                budget.tick()
                 remaining = (
                     None if limit is None else limit - len(result.pairs)
                 )
@@ -894,44 +1009,22 @@ class RingRPQEngine:
                 sub_run = self._new_run(
                     second_prepared, budget, result.stats
                 )
-                result.stats.subqueries += len(chunk)
-                partner_sets = sub_run.run_many(
-                    chunk,
-                    self.ring.object_ranges_many(chunk),
+                result.stats.subqueries += 1
+                partners = sub_run.run(
+                    self.ring.object_range(node_id),
+                    start_node=node_id,
                     max_reported=remaining,
                 )
-                for node_id, partners in zip(chunk, partner_sets):
-                    if not partners:
-                        continue
-                    anchor_label = dictionary.node_label(node_id)
-                    for partner in partners:
-                        partner_label = dictionary.node_label(partner)
-                        if side == "subject":
-                            result.pairs.add((anchor_label, partner_label))
-                        else:
-                            result.pairs.add((partner_label, anchor_label))
-            return
-
-        for node_id in order:
-            budget.tick()
-            remaining = None if limit is None else limit - len(result.pairs)
-            if remaining is not None and remaining <= 0:
-                result.stats.truncated = True
-                return
-            sub_run = self._new_run(second_prepared, budget, result.stats)
-            result.stats.subqueries += 1
-            partners = sub_run.run(
-                self.ring.object_range(node_id),
-                start_node=node_id,
-                max_reported=remaining,
-            )
-            anchor_label = dictionary.node_label(node_id)
-            for partner in partners:
-                partner_label = dictionary.node_label(partner)
-                if side == "subject":
-                    result.pairs.add((anchor_label, partner_label))
-                else:
-                    result.pairs.add((partner_label, anchor_label))
+                anchor_label = dictionary.node_label(node_id)
+                for partner in partners:
+                    partner_label = dictionary.node_label(partner)
+                    if side == "subject":
+                        result.pairs.add((anchor_label, partner_label))
+                    else:
+                        result.pairs.add((partner_label, anchor_label))
+        finally:
+            if span is not None:
+                spans.end(span)
 
     # ------------------------------------------------------------------
     # §5 fast paths for short variable-to-variable patterns

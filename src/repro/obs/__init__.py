@@ -12,7 +12,16 @@ this subpackage makes that accounting first-class:
   subclasses (``BitVector.rank/select``, ``WaveletMatrix`` node and
   range operations, ``Ring.backward_step``);
 * :mod:`repro.obs.profile` — :func:`profile_query` /
-  :class:`ProfileReport`, the machinery behind ``repro profile``.
+  :class:`ProfileReport`, the machinery behind ``repro profile``;
+* :mod:`repro.obs.spans` — hierarchical spans (:class:`SpanStack`)
+  with Chrome ``chrome://tracing`` export, threaded through the engine
+  behind the same hoisted ``enabled`` guards;
+* :mod:`repro.obs.histogram` — log-bucketed :class:`LogHistogram` with
+  deterministic p50/p90/p99;
+* :mod:`repro.obs.slowlog` — :class:`SlowQueryLog`, a bounded record
+  of the K worst queries with counter snapshots and span trees;
+* :mod:`repro.obs.export` — :func:`prometheus_text`, the Prometheus
+  text-format exporter over any :class:`Metrics`.
 
 Operation *counters* of the engine itself (nodes visited vs pruned per
 §4.1–§4.3 phase) live in :class:`repro.core.result.QueryStats` and are
@@ -28,20 +37,30 @@ from repro.obs.instrument import (
     instrument_matrix,
     instrument_ring,
 )
+from repro.obs.export import prometheus_text
+from repro.obs.histogram import LogHistogram
 from repro.obs.metrics import NULL_METRICS, Metrics, NullMetrics, TraceEvent
 from repro.obs.profile import ProfileReport, profile_query
+from repro.obs.slowlog import SlowQueryEntry, SlowQueryLog
+from repro.obs.spans import Span, SpanStack
 
 __all__ = [
     "CountingBitVector",
     "CountingWaveletMatrix",
+    "LogHistogram",
     "Metrics",
     "NULL_METRICS",
     "NullMetrics",
     "ProfileReport",
+    "SlowQueryEntry",
+    "SlowQueryLog",
+    "Span",
+    "SpanStack",
     "TraceEvent",
     "instrument_bitvector",
     "instrument_index",
     "instrument_matrix",
     "instrument_ring",
     "profile_query",
+    "prometheus_text",
 ]

@@ -1,0 +1,270 @@
+"""EXPLAIN / EXPLAIN ANALYZE: plans, estimates and measured reality.
+
+Plain EXPLAIN (``repro explain``) describes how a query *would* run:
+the Glushkov position automaton, the ``B`` table mapping each
+predicate to the NFA states it activates, the §5 planner's strategy
+and anchor-side choice, and the cost model's pre-execution work
+estimates (:func:`repro.bench.costmodel.estimate_rpq_cost`).
+
+EXPLAIN ANALYZE (``--analyze``) additionally *runs* the query under
+full metrics — phase timers, hierarchical spans, instrumented succinct
+structures — and renders the estimated counts next to the actual
+:class:`~repro.core.result.QueryStats` counters with a misestimation
+ratio per row.  Where the ratio is far from 1 is exactly where the
+``B[v]``/``D[v]`` pruning beats (or loses to) the selectivity-only
+cost view; this estimated-vs-actual discipline follows the evaluation
+methodology of arXiv:2412.07729 and arXiv:2307.14930.
+
+This module is imported lazily by the CLI (it pulls in the bench
+subpackage); it is deliberately not re-exported from ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.automata.glushkov import (
+    build_glushkov,
+    resolve_atom_to_predicates,
+)
+from repro.bench.costmodel import PlanEstimate, estimate_rpq_cost
+from repro.core.query import as_query
+from repro.obs.metrics import Metrics
+from repro.obs.profile import ProfileReport, profile_query
+
+
+def plan_dict(index, query) -> dict:
+    """The plain-EXPLAIN plan as a JSON-ready dict."""
+    rpq = as_query(query)
+    automaton = build_glushkov(rpq.expr)
+    dictionary = index.dictionary
+    b_masks = automaton.b_masks(
+        lambda atom: resolve_atom_to_predicates(atom, dictionary)
+    )
+    estimate = estimate_rpq_cost(index, rpq)
+    plan = index.engine.explain(rpq)
+    plan["automaton"] = {
+        "num_states": automaton.num_states,
+        "nullable": automaton.nullable,
+        "initial": automaton.state_mask_str(automaton.INITIAL_MASK),
+        "final": automaton.state_mask_str(automaton.final_mask),
+        "transitions": [
+            {"source": src, "atom": str(atom), "target": tgt}
+            for src, atom, tgt in automaton.transitions()
+        ],
+    }
+    plan["b_table"] = {
+        dictionary.predicate_label(pid): automaton.state_mask_str(mask)
+        for pid, mask in sorted(b_masks.items())
+    }
+    plan["estimate"] = {
+        "edges": estimate.edges,
+        "touched_nodes": estimate.touched_nodes,
+        "lp_nodes": estimate.lp_nodes,
+        "ls_nodes": estimate.ls_nodes,
+        "backward_steps": estimate.backward_steps,
+        "storage_ops": estimate.storage_ops,
+        "modeled_seconds": estimate.modeled_seconds,
+    }
+    return plan
+
+
+def format_plan(index, query) -> str:
+    """Human-readable plain EXPLAIN."""
+    plan = plan_dict(index, query)
+    auto = plan["automaton"]
+    est = plan["estimate"]
+    lines = [
+        f"query    : {plan['query']}",
+        f"shape    : {plan['shape']}",
+        f"strategy : {plan['strategy']}",
+    ]
+    if "anchor_side" in plan:
+        lines.append(f"anchor   : {plan['anchor_side']} side bound first")
+    lines += [
+        "",
+        f"Glushkov automaton: {auto['num_states']} states"
+        f"{' (nullable)' if auto['nullable'] else ''}, "
+        f"initial {auto['initial']}, final {auto['final']}",
+    ]
+    for t in auto["transitions"]:
+        lines.append(
+            f"  q{t['source']:<3d} --{t['atom']}--> q{t['target']}"
+        )
+    lines.append("")
+    lines.append("B table (predicate -> activated states):")
+    if plan["b_table"]:
+        width = max(len(label) for label in plan["b_table"])
+        for label, states in plan["b_table"].items():
+            lines.append(f"  {label.ljust(width)}  {states}")
+    else:
+        lines.append("  (no predicate of the query occurs in the graph)")
+    lines += [
+        "",
+        "cost-model estimates:",
+        f"  matching edges    : {est['edges']}",
+        f"  touched nodes     : {est['touched_nodes']}",
+        f"  L_p wavelet nodes : {est['lp_nodes']}",
+        f"  L_s wavelet nodes : {est['ls_nodes']}",
+        f"  backward steps    : {est['backward_steps']}",
+        f"  storage ops       : {est['storage_ops']}",
+        f"  modeled time      : {est['modeled_seconds'] * 1e3:.3f} ms "
+        "(ring @ 60ns/op)",
+    ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN ANALYZE
+# ----------------------------------------------------------------------
+
+#: (phase label, metric label, estimate key or None, actual stats attr)
+_COMPARISON_ROWS = (
+    ("predicates_from_objects", "nodes_visited", "lp_nodes", "lp_nodes"),
+    ("predicates_from_objects", "nodes_pruned", None, "lp_pruned"),
+    ("predicates_from_objects", "empty_ranges", None, "lp_empty"),
+    ("subjects_from_predicates", "nodes_visited", "ls_nodes", "ls_nodes"),
+    ("subjects_from_predicates", "nodes_pruned", None, "ls_pruned"),
+    ("subjects_from_predicates", "empty_ranges", None, "ls_empty"),
+    ("(all phases)", "backward_steps", "backward_steps", "backward_steps"),
+    ("(all phases)", "storage_ops", "storage_ops", "storage_ops"),
+)
+
+
+@dataclass
+class AnalyzeReport:
+    """Estimated plan next to the measured run."""
+
+    plan: dict
+    estimate: PlanEstimate
+    profile: ProfileReport
+    metrics: Metrics
+
+    def comparison(self) -> list[dict]:
+        """Rows of estimated vs. actual counts with the ratio."""
+        stats = self.profile.stats
+        est_counts = self.estimate.counts()
+        rows = []
+        for phase, metric, est_key, actual_attr in _COMPARISON_ROWS:
+            actual = getattr(stats, actual_attr)
+            estimated = est_counts.get(est_key) if est_key else None
+            ratio = None
+            if estimated is not None and actual > 0:
+                ratio = estimated / actual
+            rows.append({
+                "phase": phase,
+                "metric": metric,
+                "estimated": estimated,
+                "actual": actual,
+                "ratio": ratio,
+            })
+        return rows
+
+    def misestimation(self) -> float | None:
+        """Overall estimated/actual storage-op ratio (None when the
+        run did no storage work)."""
+        actual = self.profile.stats.storage_ops
+        if actual <= 0:
+            return None
+        return self.estimate.storage_ops / actual
+
+    def format(self) -> str:
+        stats = self.profile.stats
+        lines = [self._plan_text]
+        lines.append("")
+        lines.append(
+            f"ANALYZE: {len(self.profile.result)} result(s) in "
+            f"{stats.elapsed * 1e3:.3f} ms "
+            f"(modeled {self.estimate.modeled_seconds * 1e3:.3f} ms)"
+        )
+        lines.append("")
+        header = ("phase", "metric", "estimated", "actual", "est/actual")
+        rows = [header]
+        for row in self.comparison():
+            rows.append((
+                row["phase"],
+                row["metric"],
+                "-" if row["estimated"] is None else str(row["estimated"]),
+                str(row["actual"]),
+                "-" if row["ratio"] is None else f"{row['ratio']:.2f}x",
+            ))
+        widths = [
+            max(len(r[i]) for r in rows) for i in range(len(header))
+        ]
+        for r in rows:
+            lines.append(
+                "  ".join(
+                    cell.ljust(w) if i < 2 else cell.rjust(w)
+                    for i, (cell, w) in enumerate(zip(r, widths))
+                ).rstrip()
+            )
+        overall = self.misestimation()
+        if overall is not None:
+            lines.append("")
+            lines.append(
+                f"misestimation: model predicted {overall:.2f}x the "
+                "actual storage ops"
+            )
+        spans = self.metrics.spans
+        if spans is not None and len(spans):
+            lines.append("")
+            lines.append(
+                f"span tree ({len(spans)} spans, "
+                f"max depth {spans.max_depth()}):"
+            )
+            lines.append(spans.format_tree())
+        return "\n".join(lines)
+
+    @property
+    def _plan_text(self) -> str:
+        return self.plan["_text"]
+
+    def to_dict(self) -> dict:
+        plan = {k: v for k, v in self.plan.items() if k != "_text"}
+        out = {
+            "plan": plan,
+            "analyze": self.profile.to_dict(),
+            "comparison": self.comparison(),
+            "misestimation": self.misestimation(),
+        }
+        spans = self.metrics.spans
+        if spans is not None:
+            out["span_tree"] = spans.tree()
+            out["span_max_depth"] = spans.max_depth()
+        return out
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def write_chrome_trace(self, path) -> None:
+        """Dump the captured spans as Chrome trace-event JSON."""
+        spans = self.metrics.spans
+        if spans is None:
+            raise ValueError("no spans were captured")
+        spans.write_chrome_trace(path)
+
+
+def explain_analyze(
+    index,
+    query,
+    timeout: float | None = None,
+    limit: int | None = None,
+    span_capacity: int = 100_000,
+    trace_capacity: int = 0,
+) -> AnalyzeReport:
+    """Run ``query`` under full telemetry and pair the measured
+    counters with the pre-execution estimates."""
+    rpq = as_query(query)
+    plan = plan_dict(index, rpq)
+    plan["_text"] = format_plan(index, rpq)
+    estimate = estimate_rpq_cost(index, rpq)
+    metrics = Metrics(
+        trace_capacity=trace_capacity, span_capacity=span_capacity
+    )
+    report = profile_query(
+        index, rpq, timeout=timeout, limit=limit, metrics=metrics
+    )
+    return AnalyzeReport(
+        plan=plan, estimate=estimate, profile=report, metrics=metrics
+    )

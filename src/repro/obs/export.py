@@ -1,0 +1,93 @@
+"""Metric exporters: Prometheus text exposition over a Metrics registry.
+
+The ROADMAP north-star is an engine serving real traffic, and the
+lingua franca of serving telemetry is the Prometheus text format.  This
+module renders any :class:`~repro.obs.metrics.Metrics` (or a plain
+snapshot dict) into that format:
+
+* counters      → ``<prefix>_<name>_total``  (TYPE counter)
+* phase seconds → ``<prefix>_phase_seconds_total{phase="..."}``
+* histograms    → ``<prefix>_<name>`` with cumulative ``_bucket{le=}``
+  series plus ``_sum`` and ``_count`` (TYPE histogram)
+
+Metric names are sanitised to ``[a-zA-Z_][a-zA-Z0-9_]*`` (dots and
+dashes become underscores), matching the exposition-format grammar.
+
+No HTTP server is provided — any WSGI one-liner or a file scrape
+(node-exporter textfile collector) can serve the returned string.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.histogram import LogHistogram
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _sanitize(name: str) -> str:
+    name = _NAME_OK.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _format_value(value: float) -> str:
+    # Prometheus accepts Go-style floats; repr() keeps full precision
+    # and renders integral floats as e.g. "3.0" which is valid.
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _histogram_lines(full_name: str, hist: LogHistogram) -> list[str]:
+    lines = [
+        f"# TYPE {full_name} histogram",
+    ]
+    cumulative = 0
+    for upper, count in hist.bucket_bounds():
+        cumulative += count
+        lines.append(
+            f'{full_name}_bucket{{le="{_format_value(upper)}"}} {cumulative}'
+        )
+    lines.append(f'{full_name}_bucket{{le="+Inf"}} {hist.count}')
+    lines.append(f"{full_name}_sum {_format_value(hist.total)}")
+    lines.append(f"{full_name}_count {hist.count}")
+    return lines
+
+
+def prometheus_text(metrics, prefix: str = "repro") -> str:
+    """Render ``metrics`` in the Prometheus text exposition format.
+
+    ``metrics`` is a :class:`~repro.obs.metrics.Metrics`-like object:
+    anything with ``counters``, ``phase_seconds`` and ``histograms``
+    mappings (so :data:`~repro.obs.metrics.NULL_METRICS` renders as an
+    empty document).
+    """
+    prefix = _sanitize(prefix)
+    lines: list[str] = []
+
+    counters = metrics.counters
+    for name in sorted(counters):
+        full = f"{prefix}_{_sanitize(name)}_total"
+        lines.append(f"# TYPE {full} counter")
+        lines.append(f"{full} {counters[name]}")
+
+    phases = metrics.phase_seconds
+    if phases:
+        full = f"{prefix}_phase_seconds_total"
+        lines.append(f"# TYPE {full} counter")
+        for name in sorted(phases):
+            lines.append(
+                f'{full}{{phase="{_sanitize(name)}"}} '
+                f"{_format_value(phases[name])}"
+            )
+
+    histograms = metrics.histograms
+    for name in sorted(histograms):
+        lines.extend(
+            _histogram_lines(f"{prefix}_{_sanitize(name)}", histograms[name])
+        )
+
+    return "\n".join(lines) + ("\n" if lines else "")

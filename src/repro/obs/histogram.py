@@ -1,0 +1,212 @@
+"""Log-bucketed histograms for latencies and per-query counters.
+
+Means hide everything a serving system cares about — tail latency,
+pathological queries — so the telemetry layer records *distributions*.
+:class:`LogHistogram` keeps a sparse table of geometrically-growing
+buckets: constant relative error (one ``growth`` factor per bucket)
+over an unbounded range, O(1) inserts, and a bounded footprint no
+matter how skewed the data.  Percentiles interpolate geometrically
+inside the landing bucket, so they are deterministic functions of the
+bucket table — two histograms built from the same values agree bit for
+bit, and ``merge`` is exact (bucket-wise addition).
+
+The default growth of ``2**0.25`` (~19% per bucket) resolves p50/p90/
+p99 to well under the run-to-run noise of any wall-clock measurement;
+counter histograms can use a coarser factor.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+#: Default bucket growth factor: four buckets per octave.
+DEFAULT_GROWTH = 2.0 ** 0.25
+
+
+class LogHistogram:
+    """A sparse histogram over geometrically-spaced buckets.
+
+    Bucket ``i`` covers the half-open interval
+    ``[growth**i, growth**(i+1))``; non-positive observations land in a
+    dedicated zero bucket (latencies can legitimately measure 0.0 on a
+    coarse clock, and counter values are often zero).
+
+    Not thread-safe; like :class:`~repro.obs.metrics.Metrics`, give
+    each thread its own and :meth:`merge` afterwards.
+    """
+
+    __slots__ = ("growth", "_log_growth", "buckets", "zeros",
+                 "count", "total", "min", "max")
+
+    def __init__(self, growth: float = DEFAULT_GROWTH):
+        if growth <= 1.0:
+            raise ValueError("growth factor must exceed 1")
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self.buckets: dict[int, int] = {}
+        self.zeros = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    @classmethod
+    def of(cls, values: Iterable[float],
+           growth: float = DEFAULT_GROWTH) -> "LogHistogram":
+        """Histogram of an iterable of values."""
+        hist = cls(growth)
+        for value in values:
+            hist.observe(value)
+        return hist
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def bucket_index(self, value: float) -> int:
+        """Index of the bucket containing a positive ``value``.
+
+        Computed from the logarithm and then nudged against the exact
+        power-of-``growth`` boundaries, so float rounding in ``log``
+        can never misplace a value by a bucket.
+        """
+        index = math.floor(math.log(value) / self._log_growth)
+        if value < self.growth ** index:
+            index -= 1
+        elif value >= self.growth ** (index + 1):
+            index += 1
+        return index
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.zeros += 1
+            return
+        buckets = self.buckets
+        index = self.bucket_index(value)
+        buckets[index] = buckets.get(index, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100), bucket-resolved.
+
+        Uses the nearest-rank position ``(count - 1) * q / 100`` and
+        interpolates geometrically inside the landing bucket — a
+        deterministic function of the bucket table, accurate to one
+        ``growth`` factor.  Results are clamped to the exact observed
+        ``[min, max]``.
+        """
+        if self.count == 0:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile {q} outside [0, 100]")
+        target = (self.count - 1) * q / 100.0
+        cumulative = float(self.zeros)
+        if target < cumulative:
+            return max(0.0, self.min)
+        value = 0.0
+        for index in sorted(self.buckets):
+            n = self.buckets[index]
+            if target < cumulative + n:
+                fraction = (target - cumulative + 1.0) / n
+                value = self.growth ** (index + fraction)
+                break
+            cumulative += n
+        else:  # target == count - 1 exactly, beyond the last bucket
+            value = self.max
+        return min(max(value, self.min), self.max)
+
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    def p90(self) -> float:
+        return self.percentile(90.0)
+
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def summary(self) -> dict[str, float]:
+        """The headline quantiles: p50/p90/p99 plus min/mean/max."""
+        if self.count == 0:
+            return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+        }
+
+    def bucket_bounds(self) -> list[tuple[float, int]]:
+        """``(upper_bound, count)`` per occupied bucket, ascending.
+
+        The zero bucket reports an upper bound of 0.0.  Used by the
+        Prometheus exporter, whose buckets are "observations <= le".
+        """
+        bounds: list[tuple[float, int]] = []
+        if self.zeros:
+            bounds.append((0.0, self.zeros))
+        for index in sorted(self.buckets):
+            bounds.append((self.growth ** (index + 1), self.buckets[index]))
+        return bounds
+
+    # ------------------------------------------------------------------
+    # Aggregation / export
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold another histogram in; exact (bucket-wise addition)."""
+        if other.growth != self.growth:
+            raise ValueError(
+                f"cannot merge histograms with growth {other.growth} "
+                f"into growth {self.growth}"
+            )
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+        self.zeros += other.zeros
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dump: summary plus the sparse bucket table."""
+        out = dict(self.summary())
+        out["sum"] = self.total
+        out["growth"] = self.growth
+        out["buckets"] = [
+            [index, self.buckets[index]] for index in sorted(self.buckets)
+        ]
+        out["zeros"] = self.zeros
+        return out
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.count == 0:
+            return "LogHistogram(empty)"
+        return (
+            f"LogHistogram(n={self.count}, p50={self.p50():.4g}, "
+            f"p99={self.p99():.4g}, max={self.max:.4g})"
+        )

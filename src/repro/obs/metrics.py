@@ -23,6 +23,9 @@ import time
 from collections import deque
 from collections.abc import Callable, Iterator
 
+from repro.obs.histogram import DEFAULT_GROWTH, LogHistogram
+from repro.obs.spans import SpanStack
+
 
 class TraceEvent:
     """One timestamped trace record.
@@ -76,6 +79,11 @@ class Metrics:
         disables the buffer entirely; a positive value keeps the *last*
         ``trace_capacity`` events (ring-buffer semantics), bounding the
         memory of even a pathological query.
+    span_capacity:
+        Maximum number of retained hierarchical spans
+        (:class:`repro.obs.spans.SpanStack`).  ``0`` (the default)
+        disables span collection — :attr:`spans` stays ``None`` and the
+        guarded engine paths skip all span work.
 
     Notes
     -----
@@ -87,11 +95,16 @@ class Metrics:
     #: metric work; the null sink sets it to False.
     enabled = True
 
-    __slots__ = ("counters", "phase_seconds", "trace", "_hooks")
+    __slots__ = ("counters", "phase_seconds", "histograms", "spans",
+                 "trace", "_hooks")
 
-    def __init__(self, trace_capacity: int = 0):
+    def __init__(self, trace_capacity: int = 0, span_capacity: int = 0):
         self.counters: dict[str, int] = {}
         self.phase_seconds: dict[str, float] = {}
+        self.histograms: dict[str, LogHistogram] = {}
+        self.spans: SpanStack | None = (
+            SpanStack(span_capacity) if span_capacity > 0 else None
+        )
         self.trace: deque[TraceEvent] | None = (
             deque(maxlen=trace_capacity) if trace_capacity > 0 else None
         )
@@ -109,6 +122,23 @@ class Metrics:
     def count(self, name: str) -> int:
         """Current value of counter ``name`` (0 when never incremented)."""
         return self.counters.get(name, 0)
+
+    # ------------------------------------------------------------------
+    # Histograms
+    # ------------------------------------------------------------------
+
+    def observe(self, name: str, value: float,
+                growth: float = DEFAULT_GROWTH) -> None:
+        """Record ``value`` into histogram ``name`` (created lazily)."""
+        histograms = self.histograms
+        hist = histograms.get(name)
+        if hist is None:
+            hist = histograms[name] = LogHistogram(growth)
+        hist.observe(value)
+
+    def histogram(self, name: str) -> LogHistogram | None:
+        """Histogram ``name``, or ``None`` when nothing was observed."""
+        return self.histograms.get(name)
 
     # ------------------------------------------------------------------
     # Phase timers
@@ -168,24 +198,37 @@ class Metrics:
     # ------------------------------------------------------------------
 
     def merge(self, other: "Metrics") -> None:
-        """Fold another registry's counters and phases into this one."""
+        """Fold another registry's counters, phases and histograms in."""
         for name, value in other.counters.items():
             self.inc(name, value)
         for name, seconds in other.phase_seconds.items():
             self.add_phase(name, seconds)
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = LogHistogram(hist.growth)
+            mine.merge(hist)
 
     def reset(self) -> None:
-        """Clear counters, phases and the trace buffer (hooks stay)."""
+        """Clear counters, phases, histograms, spans and the trace
+        buffer (hooks stay)."""
         self.counters.clear()
         self.phase_seconds.clear()
+        self.histograms.clear()
+        if self.spans is not None:
+            self.spans.reset()
         if self.trace is not None:
             self.trace.clear()
 
     def snapshot(self) -> dict:
-        """Plain-dict view: counters, phase seconds and trace events."""
+        """Plain-dict view: counters, phases, histograms and traces."""
         return {
             "counters": dict(sorted(self.counters.items())),
             "phase_seconds": dict(sorted(self.phase_seconds.items())),
+            "histograms": {
+                name: self.histograms[name].to_dict()
+                for name in sorted(self.histograms)
+            },
             "trace": [e.to_dict() for e in self.trace_events()],
         }
 
@@ -226,6 +269,8 @@ class NullMetrics:
 
     enabled = False
     tracing = False
+    #: Guarded span paths test ``obs.spans`` against None.
+    spans = None
 
     __slots__ = ()
 
@@ -234,6 +279,13 @@ class NullMetrics:
 
     def count(self, name: str) -> int:
         return 0
+
+    def observe(self, name: str, value: float,
+                growth: float = DEFAULT_GROWTH) -> None:
+        return None
+
+    def histogram(self, name: str) -> None:
+        return None
 
     def add_phase(self, name: str, seconds: float) -> None:
         return None
@@ -255,8 +307,13 @@ class NullMetrics:
     def phase_seconds(self) -> dict[str, float]:
         return {}
 
+    @property
+    def histograms(self) -> dict[str, LogHistogram]:
+        return {}
+
     def snapshot(self) -> dict:
-        return {"counters": {}, "phase_seconds": {}, "trace": []}
+        return {"counters": {}, "phase_seconds": {}, "histograms": {},
+                "trace": []}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "NULL_METRICS"

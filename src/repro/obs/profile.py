@@ -111,10 +111,36 @@ class ProfileReport:
                 lines.append(f"  {name.ljust(width)}  {counters[name]}")
         return "\n".join(lines)
 
+    def phase_counters(self) -> dict[str, dict[str, int]]:
+        """Per-phase wavelet traversal buckets, straight off the stats.
+
+        Unlike :meth:`breakdown` (which merges in measured phase
+        seconds), these are the raw visited/pruned/empty counts per
+        descent family — the quantities the cost model estimates.
+        """
+        stats = self.stats
+        return {
+            "predicates_from_objects": {
+                "descents": stats.lp_descents,
+                "nodes_visited": stats.lp_nodes,
+                "nodes_pruned": stats.lp_pruned,
+                "empty_ranges": stats.lp_empty,
+                "children_emitted": stats.lp_children,
+            },
+            "subjects_from_predicates": {
+                "descents": stats.ls_descents,
+                "nodes_visited": stats.ls_nodes,
+                "nodes_pruned": stats.ls_pruned,
+                "empty_ranges": stats.ls_empty,
+                "children_emitted": stats.ls_children,
+            },
+        }
+
     def to_dict(self) -> dict:
         """JSON-ready dump: query, phases, counters, trace events."""
         stats = self.stats
         return {
+            "schema_version": 2,
             "query": self.query,
             "shape": self.shape,
             "n_results": len(self.result),
@@ -122,7 +148,12 @@ class ProfileReport:
             "timed_out": stats.timed_out,
             "truncated": stats.truncated,
             "phases": self.breakdown(),
+            "phase_counters": self.phase_counters(),
             "operation_counts": stats.operation_counts(),
+            "histograms": {
+                name: hist.summary()
+                for name, hist in sorted(self.metrics.histograms.items())
+            },
             "index_operations": dict(sorted(self.metrics.counters.items())),
             "trace": [e.to_dict() for e in self.metrics.trace_events()],
         }

@@ -30,6 +30,7 @@ from collections.abc import Iterator, Sequence
 import numpy as np
 
 from repro.errors import ConstructionError
+from repro.obs.metrics import NULL_METRICS
 from repro.succinct.elias_fano import EliasFano
 from repro.succinct.wavelet_matrix import WaveletMatrix
 
@@ -146,6 +147,12 @@ class Ring:
         self._n = n
         self._num_nodes = int(num_nodes)
         self._num_preds = int(num_predicates)
+        #: Observability sink for the *coarse* batch entry points
+        #: (``backward_step_many`` / ``object_ranges_many``); the engine
+        #: installs its registry here for the span of one ``evaluate``.
+        #: Scalar per-operation methods stay uninstrumented — see
+        #: :mod:`repro.obs.instrument` for the opt-in class swap.
+        self.obs = NULL_METRICS
 
         if n:
             arr = np.asarray(triples, dtype=np.int64)
@@ -274,19 +281,37 @@ class Ring:
         paid once per *batch* instead of once per range.
         """
         arr = np.asarray(ranges, dtype=np.int64).reshape(-1, 2)
+        obs = self.obs
+        span = None
+        if obs.enabled:
+            spans = obs.spans
+            if spans is not None:
+                span = spans.start("ring.backward_step_many")
+                span.set(k=len(arr), pid=p)
         rank_b, rank_e = self.L_p.rank_pair_many(p, arr[:, 0], arr[:, 1])
         base = int(self.C_p[p])
         out = np.empty_like(arr)
         out[:, 0] = base + rank_b
         out[:, 1] = base + rank_e
+        if span is not None:
+            obs.spans.end(span)
         return out
 
     def object_ranges_many(self, nodes) -> np.ndarray:
         """Bulk :meth:`object_range`: a ``(k, 2)`` array for ``k`` objects."""
         idx = np.asarray(nodes, dtype=np.int64)
+        obs = self.obs
+        span = None
+        if obs.enabled:
+            spans = obs.spans
+            if spans is not None:
+                span = spans.start("ring.object_ranges_many")
+                span.set(k=len(idx))
         out = np.empty((len(idx), 2), dtype=np.int64)
         out[:, 0] = self.C_o.gather(idx)
         out[:, 1] = self.C_o.gather(idx + 1)
+        if span is not None:
+            obs.spans.end(span)
         return out
 
     def subject_backward_step(self, b_s: int, e_s: int, s: int) -> tuple[int, int]:

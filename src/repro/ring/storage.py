@@ -23,6 +23,7 @@ import numpy as np
 
 from repro._util.bits import unpack_words
 from repro.errors import ConstructionError
+from repro.obs.metrics import NULL_METRICS
 from repro.ring.builder import RingIndex
 from repro.ring.dictionary import Dictionary
 from repro.ring.ring import Ring
@@ -142,6 +143,7 @@ def load_index(path: str | Path) -> RingIndex:
     ring._n = int(meta["n"])
     ring._num_nodes = int(meta["num_nodes"])
     ring._num_preds = int(meta["num_predicates"])
+    ring.obs = NULL_METRICS
     ring.L_p = _load_matrix("L_p", meta["L_p"], archive)
     ring.L_s = _load_matrix("L_s", meta["L_s"], archive)
     from repro.ring.ring import BoundaryArray

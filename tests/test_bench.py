@@ -24,7 +24,13 @@ from repro.bench.space import (
     ring_bytes_per_edge,
     working_space_bytes_per_edge,
 )
-from repro.bench.stats import FiveNumber, geometric_mean, summarize
+from repro.bench.stats import (
+    FiveNumber,
+    geometric_mean,
+    percentile,
+    percentiles,
+    summarize,
+)
 from repro.bench.workload import generate_query_log
 from repro.bench.table1 import format_table1, regenerate_table1
 from repro.core.query import RPQ
@@ -186,9 +192,14 @@ class TestRunnerAndStats:
         assert results.mean_counter("ring", "no_such_counter") == 0.0
         table = results.operations_by_pattern("ring")
         assert set(table) == set(results.patterns())
-        for row in table.values():
+        for pattern, row in table.items():
             assert set(row) == set(names)
-            assert all(v >= 0 for v in row.values())
+            for name, cell in row.items():
+                assert set(cell) == {"mean", "p50", "p90", "p99"}
+                assert 0 <= cell["p50"] <= cell["p90"] <= cell["p99"]
+                assert cell["mean"] == pytest.approx(
+                    results.mean_counter("ring", name, pattern=pattern)
+                )
 
     def test_boxplot_render(self, results):
         text = render_pattern_boxplots(results)
@@ -221,6 +232,37 @@ class TestStats:
     def test_geometric_mean(self):
         assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
         assert geometric_mean([0.0, 1.0], floor=1e-6) > 0
+
+    def test_percentile_interpolates_linearly(self):
+        values = [4.0, 1.0, 3.0, 2.0]  # sorted: 1 2 3 4
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+        assert percentile(values, 25) == pytest.approx(1.75)
+
+    def test_percentile_matches_numpy_linear(self):
+        import numpy as np
+        import random
+
+        rng = random.Random(5)
+        values = [rng.uniform(0, 100) for _ in range(137)]
+        for q in (0, 1, 10, 50, 90, 95, 99, 100):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+    def test_percentile_validates_input(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_percentiles_dict(self):
+        out = percentiles([1.0, 2.0, 3.0])
+        assert set(out) == {"p50", "p90", "p95", "p99", "max"}
+        assert out["p50"] == 2.0 and out["max"] == 3.0
+        assert out["p90"] <= out["p95"] <= out["p99"] <= out["max"]
+        assert percentiles([]) == {}
 
 
 class TestSpace:

@@ -45,6 +45,22 @@ def test_advanced_features(monkeypatch, capsys):
     assert "answers identical" in out
 
 
+def test_chrome_trace(monkeypatch, capsys, tmp_path):
+    trace_path = tmp_path / "trace.json"
+    out = run_example(
+        monkeypatch, capsys, "chrome_trace.py",
+        ["--out", str(trace_path)],
+    )
+    assert "latency histogram" in out
+    assert "slow-query log" in out
+    assert "wrote Chrome trace" in out
+    import json
+
+    trace = json.loads(trace_path.read_text())
+    assert trace["traceEvents"]
+    assert all(e["ph"] == "X" for e in trace["traceEvents"])
+
+
 @pytest.mark.slow
 def test_query_log_analysis(monkeypatch, capsys):
     out = run_example(

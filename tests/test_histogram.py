@@ -1,0 +1,155 @@
+"""Tests for the log-bucketed latency/counter histogram."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.histogram import DEFAULT_GROWTH, LogHistogram
+
+
+class TestBasics:
+    def test_empty(self):
+        h = LogHistogram()
+        assert len(h) == 0
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.percentile(50) == 0.0
+        assert h.summary()["count"] == 0
+
+    def test_observe_tracks_extremes_and_mean(self):
+        h = LogHistogram.of([1.0, 2.0, 4.0])
+        assert h.count == 3
+        assert h.min == 1.0 and h.max == 4.0
+        assert h.mean == pytest.approx(7.0 / 3)
+
+    def test_zeros_and_negatives_bucket_separately(self):
+        h = LogHistogram.of([0.0, -1.0, 5.0])
+        assert h.zeros == 2
+        assert h.count == 3
+        # the zero bucket resolves to 0.0, never a negative latency
+        assert h.percentile(0) == 0.0
+        assert h.min == -1.0
+
+    def test_percentile_bounds(self):
+        h = LogHistogram.of([1.0, 10.0])
+        # bucket-resolved: p0 lands within one growth factor of min
+        assert 1.0 <= h.percentile(0) <= 1.0 * h.growth
+        assert h.percentile(100) == 10.0
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_single_value_percentiles_are_exact(self):
+        h = LogHistogram.of([0.125])
+        for q in (0, 50, 90, 99, 100):
+            assert h.percentile(q) == pytest.approx(0.125)
+
+    def test_summary_keys(self):
+        h = LogHistogram.of([3.0])
+        assert set(h.summary()) == {
+            "count", "mean", "min", "max", "p50", "p90", "p99"
+        }
+
+    def test_repr_mentions_count(self):
+        assert "3" in repr(LogHistogram.of([1.0, 2.0, 3.0]))
+
+
+class TestAccuracy:
+    def test_percentiles_within_bucket_error(self):
+        rng = random.Random(0)
+        values = [rng.uniform(1e-4, 10.0) for _ in range(2_000)]
+        values += [rng.lognormvariate(0, 2) for _ in range(2_000)]
+        h = LogHistogram.of(values)
+        ordered = sorted(values)
+        # one bucket spans a growth factor, so the relative error of
+        # any percentile is bounded by that factor
+        for q in (1, 10, 25, 50, 75, 90, 99, 100):
+            exact = ordered[round((len(ordered) - 1) * q / 100)]
+            approx = h.percentile(q)
+            assert approx / exact == pytest.approx(
+                1.0, rel=DEFAULT_GROWTH - 1 + 0.05
+            )
+
+    def test_order_independence(self):
+        rng = random.Random(1)
+        values = [rng.expovariate(1.0) for _ in range(500)]
+        a = LogHistogram.of(values)
+        b = LogHistogram.of(list(reversed(values)))
+        # bucket table and every percentile are exactly order-free;
+        # only the float running sum accumulates rounding differently
+        assert a.buckets == b.buckets and a.zeros == b.zeros
+        assert (a.min, a.max, a.count) == (b.min, b.max, b.count)
+        for q in range(0, 101, 5):
+            assert a.percentile(q) == b.percentile(q)
+        assert a.mean == pytest.approx(b.mean)
+
+
+class TestMergeAndBuckets:
+    def test_merge_is_exact(self):
+        xs = [0.5, 1.5, 2.5, 0.0]
+        ys = [3.5, 4.5]
+        merged = LogHistogram.of(xs)
+        merged.merge(LogHistogram.of(ys))
+        direct = LogHistogram.of(xs + ys)
+        assert merged.to_dict() == direct.to_dict()
+
+    def test_merge_growth_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LogHistogram(2.0).merge(LogHistogram(4.0))
+
+    def test_bucket_bounds_are_monotonic(self):
+        h = LogHistogram.of([0.0, 0.001, 0.1, 1.0, 100.0])
+        bounds = h.bucket_bounds()
+        uppers = [b for b, _ in bounds]
+        assert uppers == sorted(uppers)
+        assert sum(c for _, c in bounds) == h.count
+
+    def test_bucket_index_brackets_value(self):
+        h = LogHistogram()
+        for value in (0.001, 0.5, 1.0, 7.3, 4096.0):
+            idx = h.bucket_index(value)
+            upper = h.growth ** (idx + 1)
+            lower = h.growth ** idx
+            assert lower <= value * (1 + 1e-9)
+            assert value <= upper * (1 + 1e-9)
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=1e-6, max_value=1e6,
+                              allow_nan=False), min_size=1))
+    def test_percentiles_bracketed_by_extremes(self, values):
+        h = LogHistogram.of(values)
+        for q in (0, 50, 99, 100):
+            assert min(values) <= h.percentile(q) <= max(values)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=1e-6, max_value=1e6,
+                           allow_nan=False)),
+        st.lists(st.floats(min_value=1e-6, max_value=1e6,
+                           allow_nan=False)),
+    )
+    def test_merge_equals_union(self, xs, ys):
+        merged = LogHistogram.of(xs)
+        merged.merge(LogHistogram.of(ys))
+        direct = LogHistogram.of(xs + ys)
+        assert merged.count == direct.count == len(xs) + len(ys)
+        assert merged.buckets == direct.buckets
+        assert merged.zeros == direct.zeros
+        if merged.count:
+            assert (merged.min, merged.max) == (direct.min, direct.max)
+            assert merged.total == pytest.approx(direct.total)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=1e-9, max_value=1e9, allow_nan=False))
+    def test_bucket_index_is_log_consistent(self, value):
+        h = LogHistogram()
+        idx = h.bucket_index(value)
+        assert abs(idx - math.log(value) / math.log(h.growth)) < 2

@@ -14,10 +14,13 @@ Three layers of guarantees:
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 import repro.core.engine as engine_mod
 from repro.core.engine import RingRPQEngine, _Budget
@@ -124,14 +127,137 @@ class TestMetrics:
         n.inc("x", 10)
         n.add_phase("p", 1.0)
         n.record("evt", a=1)
+        n.observe("lat", 0.5)
         with n.phase("p"):
             pass
         assert n.count("x") == 0
         assert n.counters == {} and n.phase_seconds == {}
+        assert n.histograms == {} and n.histogram("lat") is None
+        assert n.spans is None
         assert list(n.trace_events()) == []
         assert n.snapshot() == {
-            "counters": {}, "phase_seconds": {}, "trace": []
+            "counters": {}, "phase_seconds": {}, "histograms": {},
+            "trace": []
         }
+
+
+class TestMetricsHistograms:
+    def test_observe_creates_and_fills(self):
+        m = Metrics()
+        m.observe("lat", 0.5)
+        m.observe("lat", 1.5)
+        hist = m.histogram("lat")
+        assert hist is not None and hist.count == 2
+        assert m.histogram("other") is None
+
+    def test_merge_folds_histograms(self):
+        a, b = Metrics(), Metrics()
+        a.observe("lat", 1.0)
+        b.observe("lat", 2.0)
+        b.observe("only_b", 3.0)
+        a.merge(b)
+        assert a.histogram("lat").count == 2
+        assert a.histogram("only_b").count == 1
+
+    def test_reset_clears_histograms_and_spans(self):
+        m = Metrics(span_capacity=10)
+        m.observe("lat", 1.0)
+        m.spans.end(m.spans.start("s"))
+        m.reset()
+        assert m.histograms == {}
+        assert len(m.spans) == 0
+
+    def test_snapshot_carries_histograms(self):
+        m = Metrics()
+        m.observe("lat", 2.0)
+        snap = m.snapshot()
+        assert snap["histograms"]["lat"]["count"] == 1
+
+
+class TestMetricsProperties:
+    """Hypothesis properties of the registry's aggregation contracts."""
+
+    pytestmark = pytest.mark.hypothesis
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.dictionaries(st.sampled_from("abcdef"),
+                        st.integers(min_value=0, max_value=1_000)),
+        st.dictionaries(st.sampled_from("abcdef"),
+                        st.integers(min_value=0, max_value=1_000)),
+    )
+    def test_merge_of_snapshots_equals_sum(self, xs, ys):
+        a, b = Metrics(), Metrics()
+        for name, n in xs.items():
+            a.inc(name, n)
+        for name, n in ys.items():
+            b.inc(name, n)
+        a.merge(b)
+        for name in set(xs) | set(ys):
+            assert a.count(name) == xs.get(name, 0) + ys.get(name, 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=16),
+           st.integers(min_value=0, max_value=64))
+    def test_trace_ring_buffer_bounded_keeps_newest(self, capacity, n):
+        m = Metrics(trace_capacity=capacity)
+        for i in range(n):
+            m.record("step", i=i)
+        events = list(m.trace_events())
+        assert len(events) <= capacity
+        expected = list(range(max(0, n - capacity), n))
+        assert [e.data["i"] for e in events] == expected
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exporter
+# ----------------------------------------------------------------------
+
+
+class TestPrometheusExport:
+    def test_empty_metrics_export_empty(self):
+        from repro.obs.export import prometheus_text
+
+        assert prometheus_text(Metrics()) == ""
+
+    def test_counters_phases_histograms_rendered(self):
+        from repro.obs.export import prometheus_text
+
+        m = Metrics()
+        m.inc("ring.backward_step", 7)
+        m.add_phase("predicates_from_objects", 0.25)
+        m.observe("query.seconds", 0.5)
+        m.observe("query.seconds", 0.1)
+        text = prometheus_text(m)
+        assert "# TYPE repro_ring_backward_step_total counter" in text
+        assert "repro_ring_backward_step_total 7" in text
+        assert ('repro_phase_seconds_total'
+                '{phase="predicates_from_objects"} 0.25') in text
+        assert "# TYPE repro_query_seconds histogram" in text
+        assert 'le="+Inf"' in text
+        assert "repro_query_seconds_count 2" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        from repro.obs.export import prometheus_text
+
+        m = Metrics()
+        for value in (0.0, 0.1, 1.0, 10.0):
+            m.observe("lat", value)
+        lines = [
+            line for line in prometheus_text(m).splitlines()
+            if line.startswith("repro_lat_bucket")
+        ]
+        counts = [float(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4  # +Inf sees everything
+
+    def test_names_sanitized(self):
+        from repro.obs.export import prometheus_text
+
+        m = Metrics()
+        m.inc("weird-name.with/chars", 1)
+        text = prometheus_text(m)
+        assert "repro_weird_name_with_chars_total 1" in text
 
 
 # ----------------------------------------------------------------------
@@ -195,6 +321,108 @@ class TestEngineCounters:
         assert engine.metrics is NULL_METRICS
         assert m.count("engine.queries") == 1
         assert "total" in m.phase_seconds
+
+    def test_ring_obs_restored_after_evaluate(self, small_index):
+        ring = small_index.ring
+        assert ring.obs is NULL_METRICS
+        small_index.engine.evaluate("(?x, p0, ?y)", metrics=Metrics())
+        assert ring.obs is NULL_METRICS
+
+    def test_query_latency_histograms_recorded(self, kg_index):
+        m = Metrics()
+        kg_index.engine.evaluate("(?x, p0+, ?y)", metrics=m)
+        kg_index.engine.evaluate("(?x, p1, ?y)", metrics=m)
+        hist = m.histogram("query.seconds")
+        assert hist is not None and hist.count == 2
+        assert hist.max >= hist.min > 0
+        assert m.histogram("query.results").count == 2
+        assert m.histogram("query.backward_steps").count == 2
+
+
+# ----------------------------------------------------------------------
+# Spans through the engine
+# ----------------------------------------------------------------------
+
+
+class TestEngineSpans:
+    def test_span_tree_depth_on_vv_query(self, kg_index):
+        """Acceptance: engine phase -> wave/round -> ring step gives a
+        tree at least 3 levels deep on a batched v-to-v closure."""
+        m = Metrics(span_capacity=100_000)
+        kg_index.engine.evaluate("(?x, p0/p1*, ?y)", metrics=m)
+        spans = m.spans
+        assert spans.max_depth() >= 3
+        names = {s.name for s in spans.ordered()}
+        assert "query" in names
+        assert "wave" in names or "step" in names
+        roots = [s for s in spans.ordered() if s.depth == 0]
+        assert [r.name for r in roots] == ["query"]
+
+    def test_no_spans_without_span_capacity(self, kg_index):
+        m = Metrics()
+        kg_index.engine.evaluate("(?x, p0+, ?y)", metrics=m)
+        assert m.spans is None
+
+    def test_spans_closed_even_on_timeout(self, kg_index):
+        m = Metrics(span_capacity=100_000)
+        result = kg_index.engine.evaluate(
+            "(?x, (p0|p1|p2)+, ?y)", timeout=0.0, metrics=m
+        )
+        assert result.stats.timed_out
+        assert m.spans._open == []
+        query_spans = [
+            s for s in m.spans.ordered() if s.name == "query"
+        ]
+        assert len(query_spans) == 1
+
+    def test_chrome_trace_exportable_from_engine_run(self, kg_index,
+                                                     tmp_path):
+        m = Metrics(span_capacity=100_000)
+        kg_index.engine.evaluate("(?x, p0/p1*, ?y)", metrics=m)
+        path = tmp_path / "trace.json"
+        m.spans.write_chrome_trace(path)
+        trace = json.loads(path.read_text())
+        assert len(trace["traceEvents"]) == len(m.spans)
+
+
+# ----------------------------------------------------------------------
+# Differential guard: the default path is bit-identical and silent
+# ----------------------------------------------------------------------
+
+
+class TestNullMetricsDifferential:
+    def test_default_run_adds_nothing_and_changes_nothing(self, kg_index):
+        """With NULL_METRICS (the default), the span/histogram/slow-log
+        code paths must contribute zero counters and leave results and
+        QueryStats exactly as a fully-telemetered run produces them."""
+        queries = [
+            "(?x, p0, ?y)", "(?x, p0+, ?y)", "(?x, (p0|p1)+, ?y)",
+            "(n0, p0/p1*, ?y)",
+        ]
+        engine = kg_index.engine
+        for query in queries:
+            engine.evaluate(query)  # warm the prepare cache
+            plain = engine.evaluate(query)
+            assert engine.metrics is NULL_METRICS
+            assert kg_index.ring.obs is NULL_METRICS
+            full = engine.evaluate(
+                query, metrics=Metrics(trace_capacity=1_000,
+                                       span_capacity=100_000)
+            )
+            assert plain.pairs == full.pairs, query
+            plain_stats = dataclasses.asdict(plain.stats)
+            full_stats = dataclasses.asdict(full.stats)
+            # wall-clock is the only legitimately different field
+            plain_stats.pop("elapsed")
+            full_stats.pop("elapsed")
+            assert plain_stats == full_stats, query
+
+    def test_null_metrics_untouched_by_engine_run(self, kg_index):
+        kg_index.engine.evaluate("(?x, p0+, ?y)")
+        n = NULL_METRICS
+        assert n.counters == {} and n.phase_seconds == {}
+        assert n.histograms == {} and n.spans is None
+        assert list(n.trace_events()) == []
 
 
 # ----------------------------------------------------------------------
