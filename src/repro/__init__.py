@@ -29,6 +29,8 @@ Package layout:
   and figure;
 * :mod:`repro.obs` — observability: operation counters, phase timers,
   trace hooks and the ``repro profile`` machinery;
+* :mod:`repro.serve` — the concurrent query service: worker pool,
+  admission control, deadlines/cancellation, result caching;
 * :mod:`repro.testing` — brute-force oracles for differential testing.
 """
 
@@ -38,6 +40,8 @@ from repro.core.query import RPQ, Variable
 from repro.core.result import QueryResult, QueryStats
 from repro.errors import (
     ConstructionError,
+    OverloadedError,
+    QueryCancelledError,
     QueryTimeoutError,
     RegexSyntaxError,
     ReproError,
@@ -50,6 +54,7 @@ from repro.obs.profile import ProfileReport, profile_query
 from repro.ring.builder import RingIndex
 from repro.ring.dictionary import Dictionary
 from repro.ring.ring import Ring
+from repro.serve.service import QueryService
 
 __version__ = "1.0.0"
 
@@ -59,8 +64,11 @@ __all__ = [
     "Graph",
     "Metrics",
     "NULL_METRICS",
+    "OverloadedError",
     "ProfileReport",
+    "QueryCancelledError",
     "QueryResult",
+    "QueryService",
     "QueryStats",
     "QueryTimeoutError",
     "RegexSyntaxError",

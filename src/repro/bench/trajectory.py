@@ -17,8 +17,15 @@ from __future__ import annotations
 
 import argparse
 
+import json
+from pathlib import Path
+
 from repro.bench.context import build_context
-from repro.bench.runner import run_benchmark, write_engine_bench_json
+from repro.bench.runner import (
+    engine_bench_report,
+    run_benchmark,
+    service_throughput_report,
+)
 
 #: The pinned trajectory scale — change it only deliberately, because
 #: numbers are only comparable across PRs at identical parameters.
@@ -32,10 +39,28 @@ TRAJECTORY_PARAMS = dict(
     seed=0,
 )
 
+#: The pinned serving-throughput scale: pool sizes and replay rounds
+#: for the ``workers`` section of ``BENCH_engine.json``.  The cache
+#: must cover the ~331-query working set — an undersized cache thrashes
+#: (round N+1 replays evict round N before it is reused) and the
+#: section would measure LRU churn instead of serving throughput.
+WORKERS_PARAMS = dict(
+    workers=(1, 4),
+    rounds=3,
+    cache_size=512,
+)
+
 
 def run_trajectory(out_path: str = "BENCH_engine.json",
-                   meta: "dict[str, object] | None" = None) -> dict:
-    """Run the ring engine over the pinned workload and write the report."""
+                   meta: "dict[str, object] | None" = None,
+                   workers: "tuple[int, ...] | None" = None) -> dict:
+    """Run the ring engine over the pinned workload and write the report.
+
+    ``workers`` (default: the pinned ``WORKERS_PARAMS`` pool sizes)
+    additionally measures :class:`~repro.serve.QueryService` aggregate
+    throughput over the same query log and records it as the report's
+    ``workers`` section; pass an empty tuple to skip it.
+    """
     context = build_context(engine_names=("ring",), **TRAJECTORY_PARAMS)
     results = run_benchmark(
         context.engines,
@@ -52,8 +77,24 @@ def run_trajectory(out_path: str = "BENCH_engine.json",
     }
     if meta:
         full_meta.update(meta)
-    return write_engine_bench_json(results, out_path, engine="ring",
-                                  meta=full_meta)
+    report = engine_bench_report(results, engine="ring", meta=full_meta)
+    if workers is None:
+        workers = WORKERS_PARAMS["workers"]
+    if workers:
+        report["workers"] = service_throughput_report(
+            context.index,
+            context.queries,
+            workers=tuple(workers),
+            rounds=WORKERS_PARAMS["rounds"],
+            timeout=context.timeout,
+            limit=context.limit,
+            cache_size=WORKERS_PARAMS["cache_size"],
+        )
+    Path(out_path).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return report
 
 
 def main(argv: "list[str] | None" = None) -> None:
@@ -64,9 +105,15 @@ def main(argv: "list[str] | None" = None) -> None:
                         help="output path (default: ./BENCH_engine.json)")
     parser.add_argument("--label", default=None,
                         help="free-form label recorded in the report meta")
+    parser.add_argument("--workers", type=int, nargs="*", default=None,
+                        metavar="N",
+                        help="QueryService pool sizes for the throughput "
+                             "section (default: %s; pass no values to "
+                             "skip)" % (WORKERS_PARAMS["workers"],))
     args = parser.parse_args(argv)
     meta = {"label": args.label} if args.label else None
-    report = run_trajectory(args.out, meta=meta)
+    workers = None if args.workers is None else tuple(args.workers)
+    report = run_trajectory(args.out, meta=meta, workers=workers)
     overall = report["overall"]
     tails = overall["percentiles"]
     print(f"wrote {args.out}: {overall['count']} queries, "
@@ -80,6 +127,17 @@ def main(argv: "list[str] | None" = None) -> None:
               f"median={summary['median_seconds']:.4f}s "
               f"p95={tails['p95']:.4f}s p99={tails['p99']:.4f}s "
               f"timeouts={summary['timeouts']}")
+    section = report.get("workers")
+    if section:
+        base = section["baseline"]
+        print(f"  workers baseline (sequential, uncached): "
+              f"{base['qps']:.1f} qps over {section['rounds']} rounds")
+        for key in sorted(section["pools"], key=int):
+            pool = section["pools"][key]
+            print(f"  workers={pool['workers']}: {pool['qps']:.1f} qps "
+                  f"({pool['speedup_vs_baseline']:.2f}x), "
+                  f"cache hit rate {pool['cache_hit_rate']:.2f}, "
+                  f"rejected={pool['rejected']}")
 
 
 if __name__ == "__main__":

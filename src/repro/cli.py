@@ -8,6 +8,10 @@ Subcommands::
                                                    (--analyze: est vs actual)
     ring-rpq match GRAPH.nt ? p ?                  triple-pattern lookup
     ring-rpq stats GRAPH.nt                        index statistics
+    ring-rpq serve GRAPH.nt                        interactive query loop
+                                                   over the thread pool
+    ring-rpq query-batch GRAPH.nt QUERIES.txt      drain a query file
+                                                   through the pool
     ring-rpq bench table1|table2|fig8 [...]        regenerate artifacts
     ring-rpq generate OUT.nt --nodes N --edges M   synthetic dataset
 
@@ -152,6 +156,106 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_service(args: argparse.Namespace, metrics=None, slow_log=None):
+    from repro.serve import QueryService
+
+    index = _load_index(args.graph, args.symmetric)
+    return QueryService(
+        index,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        cache_size=args.cache_size,
+        default_timeout=args.timeout,
+        default_limit=args.limit,
+        metrics=metrics,
+        slow_log=slow_log,
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Interactive loop: one query per stdin line, results to stdout.
+
+    Commands: ``.stats`` prints service statistics, ``.metrics`` the
+    Prometheus exposition, ``.slow`` the slow-query log, ``.quit``
+    exits (EOF also exits).
+    """
+    from repro.obs.export import prometheus_text
+    from repro.obs.metrics import Metrics
+    from repro.obs.slowlog import SlowQueryLog
+
+    metrics = Metrics()
+    slow_log = SlowQueryLog(capacity=args.slow_log)
+    service = _build_service(args, metrics=metrics, slow_log=slow_log)
+    print(
+        f"# serving {args.graph} with {args.workers} worker(s); "
+        "one query per line, .quit to exit",
+        file=sys.stderr,
+    )
+    try:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line in (".quit", ".exit"):
+                break
+            if line == ".stats":
+                import json
+
+                print(json.dumps(service.stats(), indent=2))
+                continue
+            if line == ".metrics":
+                print(prometheus_text(metrics), end="")
+                continue
+            if line == ".slow":
+                print(slow_log.format_table())
+                continue
+            try:
+                result = service.evaluate(line)
+            except Exception as exc:  # noqa: BLE001 - REPL keeps going
+                print(f"# error: {exc}", file=sys.stderr)
+                continue
+            for s, o in result:
+                print(f"{s}\t{o}")
+            stats = result.stats
+            flags = [
+                name for name, on in (
+                    ("TIMEOUT", stats.timed_out),
+                    ("TRUNCATED", stats.truncated),
+                    ("CANCELLED", stats.cancelled),
+                    ("CACHED", stats.cached),
+                ) if on
+            ]
+            suffix = f" [{', '.join(flags)}]" if flags else ""
+            print(
+                f"# {len(result)} result(s) in "
+                f"{stats.elapsed:.3f}s{suffix}",
+                file=sys.stderr,
+            )
+    finally:
+        service.close()
+    return 0
+
+
+def cmd_query_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import drain_queries, load_query_file
+
+    queries = load_query_file(args.queries)
+    service = _build_service(args)
+    try:
+        summary = drain_queries(
+            service, queries, rounds=args.rounds,
+            timeout=args.timeout, limit=args.limit,
+        )
+    finally:
+        service.close()
+    if not args.verbose:
+        summary = {k: v for k, v in summary.items() if k != "per_query"}
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     graph = wikidata_like(
         n_nodes=args.nodes,
@@ -249,6 +353,44 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("graph")
     s.add_argument("--symmetric", nargs="*", default=[])
     s.set_defaults(func=cmd_stats)
+
+    def _serve_common(sp) -> None:
+        sp.add_argument("--workers", type=int, default=4)
+        sp.add_argument("--max-pending", type=int, default=64,
+                        help="admission bound on queued+executing queries")
+        sp.add_argument("--cache-size", type=int, default=128,
+                        help="result-cache capacity (0 disables)")
+        sp.add_argument("--timeout", type=float, default=None,
+                        help="default per-query wall-clock budget")
+        sp.add_argument("--limit", type=int, default=1_000_000)
+        sp.add_argument("--symmetric", nargs="*", default=[],
+                        help="predicates stored bidirectionally")
+
+    v = sub.add_parser(
+        "serve",
+        help="interactive query loop over the thread-pool service "
+             "(.stats/.metrics/.slow/.quit commands)",
+    )
+    v.add_argument("graph", help="triple file (s p o per line)")
+    _serve_common(v)
+    v.add_argument("--slow-log", type=int, default=10,
+                   help="slow-query log capacity")
+    v.set_defaults(func=cmd_serve)
+
+    qb = sub.add_parser(
+        "query-batch",
+        help="drain a query file through the thread-pool service and "
+             "print a JSON throughput summary",
+    )
+    qb.add_argument("graph", help="triple file (s p o per line)")
+    qb.add_argument("queries", help="query file (one RPQ per line)")
+    _serve_common(qb)
+    qb.add_argument("--rounds", type=int, default=1,
+                    help="replay the workload this many times "
+                         "(rounds > 1 exercise the result cache)")
+    qb.add_argument("--verbose", action="store_true",
+                    help="include the per-query records in the JSON")
+    qb.set_defaults(func=cmd_query_batch)
 
     g = sub.add_parser("generate", help="write a synthetic dataset")
     g.add_argument("out")

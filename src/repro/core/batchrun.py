@@ -97,13 +97,14 @@ class BatchedBackwardRun:
     traversal order.
     """
 
-    def __init__(self, engine, prepared, budget, stats, prune: bool):
+    def __init__(self, engine, prepared, ctx, prune: bool):
         self.engine = engine
         self.prepared = prepared
-        self.budget = budget
-        self.stats = stats
+        self.budget = ctx.budget
+        self.stats = ctx.stats
         self.prune = prune
-        self.obs = engine.metrics
+        self.obs = ctx.obs
+        self.forbidden = ctx.forbidden_ids
         self._tick_carry = 0
         # Per-anchor traversal state, filled by _run:
         self.visited: list[dict[int, int]] = []
@@ -163,7 +164,7 @@ class BatchedBackwardRun:
         self.done = False
         self.base_mask = 0
         full_mask = (1 << automaton.num_states) - 1
-        forbidden = self.engine._forbidden_ids
+        forbidden = self.forbidden
         wave: list[tuple[int, int, int, int]] = []
         for ai, anchor in enumerate(anchors):
             if anchor is None:

@@ -27,6 +27,7 @@ handle length-1/2 and disjunctive patterns with pure backward search.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict, deque
 from collections.abc import Iterable
@@ -44,7 +45,7 @@ from repro.core.batchrun import BatchedBackwardRun
 from repro.core.planner import choose_anchor_side
 from repro.core.query import RPQ, as_query
 from repro.core.result import QueryResult, QueryStats
-from repro.errors import QueryTimeoutError
+from repro.errors import QueryCancelledError, QueryTimeoutError
 from repro.obs.metrics import NULL_METRICS
 
 #: How many :meth:`_Budget.tick` calls between wall-clock checks.  The
@@ -62,28 +63,64 @@ _ANCHOR_BATCH = 1024
 
 
 class _Budget:
-    """Shared wall-clock / result-count budget for one evaluation."""
+    """Shared wall-clock / result-count budget for one evaluation.
 
-    __slots__ = ("deadline", "start", "ticks")
+    ``cancel`` is an optional cooperative cancellation token — anything
+    with an ``is_set()`` method (a :class:`threading.Event` works).
+    When set, the next consulted tick raises
+    :class:`~repro.errors.QueryCancelledError`, so a running query
+    stops at the same safe points where a timeout would: between
+    traversal ticks, with every partial result well-formed.
+    """
 
-    def __init__(self, timeout: float | None):
+    __slots__ = ("cancel", "deadline", "start", "ticks")
+
+    def __init__(self, timeout: float | None, cancel=None):
         self.start = time.monotonic()
         self.deadline = None if timeout is None else self.start + timeout
+        self.cancel = cancel
         self.ticks = 0
 
     def tick(self) -> None:
-        """Cheap periodic timeout check; raises on expiry."""
+        """Cheap periodic timeout/cancellation check; raises on expiry."""
         self.ticks += 1
-        if self.deadline is not None and self.ticks % _TICK_EVERY == 0:
-            if time.monotonic() > self.deadline:
-                raise QueryTimeoutError(
-                    time.monotonic() - self.start,
-                    self.deadline - self.start,
-                )
+        if self.ticks % _TICK_EVERY:
+            return
+        if self.cancel is not None and self.cancel.is_set():
+            raise QueryCancelledError(time.monotonic() - self.start)
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise QueryTimeoutError(
+                time.monotonic() - self.start,
+                self.deadline - self.start,
+            )
 
     def elapsed(self) -> float:
         """Seconds since the evaluation started."""
         return time.monotonic() - self.start
+
+
+class _EvalContext:
+    """Everything mutable that belongs to *one* ``evaluate`` call.
+
+    The engine itself holds only immutable configuration plus the
+    (locked) cross-query prepare cache, so any number of threads can
+    evaluate on the same engine over the same shared ring: budget,
+    stats, the metrics registry, the forbidden-node set and the
+    per-call prepare memo all travel in this context instead of being
+    swapped onto the engine (the pre-serving design mutated
+    ``engine.metrics`` / ``engine._forbidden_ids`` / ``ring.obs`` for
+    the span of the call, which cross-polluted interleaved queries).
+    """
+
+    __slots__ = ("budget", "stats", "obs", "forbidden_ids", "memo")
+
+    def __init__(self, budget: _Budget, stats: QueryStats, obs,
+                 forbidden_ids: frozenset = frozenset()):
+        self.budget = budget
+        self.stats = stats
+        self.obs = obs
+        self.forbidden_ids = forbidden_ids
+        self.memo: dict[RegexNode, "_Prepared"] = {}
 
 
 class _Prepared:
@@ -139,16 +176,16 @@ class _BackwardRun:
         self,
         engine: "RingRPQEngine",
         prepared: _Prepared,
-        budget: _Budget,
-        stats: QueryStats,
+        ctx: _EvalContext,
         prune: bool,
     ):
         self.engine = engine
         self.prepared = prepared
-        self.budget = budget
-        self.stats = stats
+        self.budget = ctx.budget
+        self.stats = ctx.stats
         self.prune = prune
-        self.obs = engine.metrics
+        self.obs = ctx.obs
+        self.forbidden = ctx.forbidden_ids
         self.visited: dict[int, int] = {}
         self.vnode_visited: dict[tuple[int, int], int] = {}
         self.base_mask = 0
@@ -179,7 +216,7 @@ class _BackwardRun:
         else:
             self.visited[start_node] = start_mask
         full_mask = (1 << automaton.num_states) - 1
-        for node in self.engine._forbidden_ids:
+        for node in self.forbidden:
             self.visited[node] = full_mask
 
         queue: deque[tuple[tuple[int, int], int]] = deque()
@@ -540,16 +577,17 @@ class RingRPQEngine:
         self.batch = batch
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.slow_log = slow_log
-        #: Node ids excluded from matching paths (see ``evaluate``).
-        self._forbidden_ids: frozenset[int] = frozenset()
         self._lp_data = None
         self._ls_data = None
         self._lp_batch = None
         self._ls_batch = None
         self._prepare_cache_size = prepare_cache_size or 0
         self._prepare_cache: OrderedDict[RegexNode, _Prepared] = OrderedDict()
-        # Per-evaluate memo, installed for the span of one evaluate().
-        self._call_memo: dict[RegexNode, _Prepared] | None = None
+        # The prepare LRU is the only cross-query mutable state on the
+        # engine; the lock makes concurrent evaluate() calls (the
+        # serving layer shares one engine across its worker threads)
+        # safe without taxing the per-query paths.
+        self._prepare_lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
@@ -591,14 +629,12 @@ class RingRPQEngine:
             self._ls_batch = self.ring.L_s.batch_data()
         return self._ls_batch
 
-    def _new_run(self, prepared: _Prepared, budget: _Budget,
-                 stats: QueryStats):
+    def _new_run(self, prepared: _Prepared, ctx: _EvalContext):
         """The traversal runner for one (sub)query: batched when the
         engine and the prepared automaton allow it, scalar otherwise."""
         if self.batch and self.traversal == "bfs" and prepared.batchable:
-            return BatchedBackwardRun(self, prepared, budget, stats,
-                                      self.prune)
-        return _BackwardRun(self, prepared, budget, stats, self.prune)
+            return BatchedBackwardRun(self, prepared, ctx, self.prune)
+        return _BackwardRun(self, prepared, ctx, self.prune)
 
     # ------------------------------------------------------------------
 
@@ -609,6 +645,7 @@ class RingRPQEngine:
         limit: int | None = None,
         forbidden_nodes: "Iterable[str] | None" = None,
         metrics=None,
+        cancel=None,
     ) -> QueryResult:
         """Evaluate an RPQ under set semantics.
 
@@ -616,7 +653,10 @@ class RingRPQEngine:
         object)`` labels.  On timeout the partial result is returned
         with ``stats.timed_out`` set (the operation counters cover the
         work done up to the deadline); on hitting ``limit`` it is
-        returned with ``stats.truncated`` set.
+        returned with ``stats.truncated`` set; when ``cancel`` trips
+        mid-run the partial result is returned with ``stats.cancelled``
+        set.  ``limit <= 0`` short-circuits to an empty truncated
+        result without touching the index.
 
         ``forbidden_nodes`` implements the §6 extension: the listed
         nodes may not appear as *intermediate* nodes of a matching path
@@ -627,30 +667,31 @@ class RingRPQEngine:
 
         ``metrics`` overrides the engine's registry for this one call —
         the ``repro profile`` command uses this to collect phase timers
-        and trace events for a single query.
+        and trace events for a single query.  ``cancel`` is an optional
+        cooperative cancellation token (anything with ``is_set()``,
+        e.g. a :class:`threading.Event`) consulted at the same periodic
+        ticks as the timeout; the serving layer's ``cancel(query_id)``
+        sets it from another thread.
+
+        This method is re-entrant and thread-safe over the shared
+        immutable ring: every piece of per-call mutable state lives in
+        a private :class:`_EvalContext`, so concurrent evaluations on
+        one engine never observe each other's metrics, forbidden sets
+        or prepare memos.
         """
         rpq = as_query(query)
         stats = QueryStats()
-        budget = _Budget(timeout)
+        budget = _Budget(timeout, cancel=cancel)
         result = QueryResult(stats=stats)
-        previous = self._forbidden_ids
-        previous_metrics = self.metrics
-        if metrics is not None:
-            self.metrics = metrics
-        obs = self.metrics
+        obs = metrics if metrics is not None else self.metrics
+        forbidden: frozenset[int] = frozenset()
         if forbidden_nodes is not None:
-            self._forbidden_ids = frozenset(
+            forbidden = frozenset(
                 self.dictionary.node_id(label)
                 for label in forbidden_nodes
                 if self.dictionary.has_node(label)
             )
-        self._call_memo = {}
-        # The ring's coarse batch entry points report through whatever
-        # registry the current evaluation uses; hand it over for the
-        # duration of the call (restored alongside the engine registry).
-        ring = self.ring
-        previous_ring_obs = ring.obs
-        ring.obs = obs
+        ctx = _EvalContext(budget, stats, obs, forbidden)
         spans = obs.spans if obs.enabled else None
         query_span = spans.start("query") if spans is not None else None
         try:
@@ -658,14 +699,15 @@ class RingRPQEngine:
                 obs.inc("engine.queries")
                 if obs.tracing:
                     obs.record("query", query=str(rpq), shape=rpq.shape())
-            self._dispatch(rpq, budget, limit, result)
+            if limit is not None and limit <= 0:
+                stats.truncated = True
+            else:
+                self._dispatch(rpq, ctx, limit, result)
         except QueryTimeoutError:
             stats.timed_out = True
+        except QueryCancelledError:
+            stats.cancelled = True
         finally:
-            self._forbidden_ids = previous
-            self.metrics = previous_metrics
-            ring.obs = previous_ring_obs
-            self._call_memo = None
             if query_span is not None:
                 query_span.set(
                     query=str(rpq), shape=rpq.shape(),
@@ -771,21 +813,21 @@ class RingRPQEngine:
     def _dispatch(
         self,
         rpq: RPQ,
-        budget: _Budget,
+        ctx: _EvalContext,
         limit: int | None,
         result: QueryResult,
     ) -> None:
         shape = rpq.shape()
         if shape == "vc":
             self._eval_anchored(rpq.expr, rpq.object, "object",
-                                budget, limit, result)
+                                ctx, limit, result)
         elif shape == "cv":
             self._eval_anchored(rpq.expr.reverse(), rpq.subject, "subject",
-                                budget, limit, result)
+                                ctx, limit, result)
         elif shape == "cc":
-            self._eval_boolean(rpq, budget, result)
+            self._eval_boolean(rpq, ctx, result)
         else:
-            self._eval_var_var(rpq, budget, limit, result)
+            self._eval_var_var(rpq, ctx, limit, result)
 
     # -- one fixed endpoint --------------------------------------------
 
@@ -794,7 +836,7 @@ class RingRPQEngine:
         expr: RegexNode,
         anchor_label: str,
         anchor_role: str,
-        budget: _Budget,
+        ctx: _EvalContext,
         limit: int | None,
         result: QueryResult,
     ) -> None:
@@ -810,9 +852,9 @@ class RingRPQEngine:
         if not dictionary.has_node(anchor_label):
             return
         anchor = dictionary.node_id(anchor_label)
-        if anchor in self._forbidden_ids:
+        if anchor in ctx.forbidden_ids:
             return
-        prepared = self._prepare(expr, result.stats)
+        prepared = self._prepare(expr, ctx)
 
         if prepared.automaton.nullable:
             result.pairs.add((anchor_label, anchor_label))
@@ -822,8 +864,8 @@ class RingRPQEngine:
             result.stats.truncated = True
             return
 
-        run = self._new_run(prepared, budget, result.stats)
-        obs = self.metrics
+        run = self._new_run(prepared, ctx)
+        obs = ctx.obs
         spans = obs.spans if obs.enabled else None
         span = spans.start("run:anchored") if spans is not None else None
         reported = run.run(
@@ -845,7 +887,7 @@ class RingRPQEngine:
     # -- both endpoints fixed --------------------------------------------
 
     def _eval_boolean(
-        self, rpq: RPQ, budget: _Budget, result: QueryResult
+        self, rpq: RPQ, ctx: _EvalContext, result: QueryResult
     ) -> None:
         """Both endpoints fixed: run from one side, early-exit at the
         other.  §4.4 allows starting from either end ("or vice versa
@@ -857,9 +899,9 @@ class RingRPQEngine:
             return
         subject = dictionary.node_id(rpq.subject)
         obj = dictionary.node_id(rpq.object)
-        if subject in self._forbidden_ids or obj in self._forbidden_ids:
+        if subject in ctx.forbidden_ids or obj in ctx.forbidden_ids:
             return
-        prepared = self._prepare(rpq.expr, result.stats)
+        prepared = self._prepare(rpq.expr, ctx)
 
         if prepared.automaton.nullable and subject == obj:
             result.pairs.add((rpq.subject, rpq.object))
@@ -871,11 +913,11 @@ class RingRPQEngine:
                 prepared.automaton, dictionary, self.ring
             )
             if side == "subject":
-                prepared = self._prepare(rpq.expr.reverse(), result.stats)
+                prepared = self._prepare(rpq.expr.reverse(), ctx)
                 anchor, target = subject, obj
 
-        run = self._new_run(prepared, budget, result.stats)
-        obs = self.metrics
+        run = self._new_run(prepared, ctx)
+        obs = ctx.obs
         spans = obs.spans if obs.enabled else None
         span = spans.start("run:boolean") if spans is not None else None
         reported = run.run(
@@ -894,17 +936,18 @@ class RingRPQEngine:
     def _eval_var_var(
         self,
         rpq: RPQ,
-        budget: _Budget,
+        ctx: _EvalContext,
         limit: int | None,
         result: QueryResult,
     ) -> None:
         dictionary = self.dictionary
-        prepared = self._prepare(rpq.expr, result.stats)
+        budget = ctx.budget
+        prepared = self._prepare(rpq.expr, ctx)
 
         if prepared.automaton.nullable:
             for node_id in range(dictionary.num_nodes):
                 budget.tick()
-                if node_id in self._forbidden_ids:
+                if node_id in ctx.forbidden_ids:
                     continue
                 label = dictionary.node_label(node_id)
                 result.pairs.add((label, label))
@@ -912,9 +955,9 @@ class RingRPQEngine:
                     result.stats.truncated = True
                     return
 
-        use_fast = self.fast_paths and not self._forbidden_ids
+        use_fast = self.fast_paths and not ctx.forbidden_ids
         if use_fast and self._try_fast_path(
-            rpq.expr, budget, limit, result
+            rpq.expr, ctx, limit, result
         ):
             return
 
@@ -930,12 +973,12 @@ class RingRPQEngine:
         else:
             first_expr, second_expr = rpq.expr.reverse(), rpq.expr
 
-        obs = self.metrics
+        obs = ctx.obs
         spans = obs.spans if obs.enabled else None
 
         # Phase 1: one traversal from the full L_p range binds one side.
-        first_prepared = self._prepare(first_expr, result.stats)
-        run = self._new_run(first_prepared, budget, result.stats)
+        first_prepared = self._prepare(first_expr, ctx)
+        run = self._new_run(first_prepared, ctx)
         span = spans.start("phase1:bind") if spans is not None else None
         bindings = run.run(
             self.ring.full_range(), start_node=None, max_reported=limit
@@ -945,7 +988,7 @@ class RingRPQEngine:
             spans.end(span)
 
         # Phase 2: one anchored run per binding, on the other automaton.
-        second_prepared = self._prepare(second_expr, result.stats)
+        second_prepared = self._prepare(second_expr, ctx)
         order = sorted(bindings)
         span = spans.start("phase2:anchors") if spans is not None else None
         if span is not None:
@@ -973,13 +1016,11 @@ class RingRPQEngine:
                     if remaining is not None and remaining <= 0:
                         result.stats.truncated = True
                         return
-                    sub_run = self._new_run(
-                        second_prepared, budget, result.stats
-                    )
+                    sub_run = self._new_run(second_prepared, ctx)
                     result.stats.subqueries += len(chunk)
                     partner_sets = sub_run.run_many(
                         chunk,
-                        self.ring.object_ranges_many(chunk),
+                        self.ring.object_ranges_many(chunk, obs=obs),
                         max_reported=remaining,
                     )
                     for node_id, partners in zip(chunk, partner_sets):
@@ -1006,9 +1047,7 @@ class RingRPQEngine:
                 if remaining is not None and remaining <= 0:
                     result.stats.truncated = True
                     return
-                sub_run = self._new_run(
-                    second_prepared, budget, result.stats
-                )
+                sub_run = self._new_run(second_prepared, ctx)
                 result.stats.subqueries += 1
                 partners = sub_run.run(
                     self.ring.object_range(node_id),
@@ -1033,7 +1072,7 @@ class RingRPQEngine:
     def _try_fast_path(
         self,
         expr: RegexNode,
-        budget: _Budget,
+        ctx: _EvalContext,
         limit: int | None,
         result: QueryResult,
     ) -> bool:
@@ -1043,7 +1082,7 @@ class RingRPQEngine:
         if isinstance(expr, Symbol):
             pids = resolve_atom_to_predicates(expr, dictionary)
             for pid in pids:
-                self._vv_single_predicate(pid, budget, limit, result)
+                self._vv_single_predicate(pid, ctx, limit, result)
             return True
 
         if isinstance(expr, Union) and all(
@@ -1056,7 +1095,7 @@ class RingRPQEngine:
                 if limit is not None and len(result.pairs) >= limit:
                     result.stats.truncated = True
                     return True
-                self._vv_single_predicate(pid, budget, limit, result)
+                self._vv_single_predicate(pid, ctx, limit, result)
             return True
 
         if (
@@ -1069,7 +1108,7 @@ class RingRPQEngine:
             if len(first) == 1 and len(second) == 1:
                 self._vv_two_predicates(
                     next(iter(first)), next(iter(second)),
-                    budget, limit, result,
+                    ctx, limit, result,
                 )
                 return True
 
@@ -1078,7 +1117,7 @@ class RingRPQEngine:
     def _vv_single_predicate(
         self,
         pid: int,
-        budget: _Budget,
+        ctx: _EvalContext,
         limit: int | None,
         result: QueryResult,
     ) -> None:
@@ -1086,6 +1125,7 @@ class RingRPQEngine:
         one backward-search step with the inverse predicate (§5)."""
         ring = self.ring
         dictionary = self.dictionary
+        budget = ctx.budget
         inv = dictionary.inverse_predicate(pid)
         b, e = ring.predicate_range(pid)
         height = ring.L_s.height
@@ -1098,8 +1138,8 @@ class RingRPQEngine:
             # stays scalar.  Counters accrue per subject as the emit
             # loop reaches it, so truncated runs account like the
             # scalar path.
-            obj_ranges = ring.object_ranges_many(subjects)
-            steps = ring.backward_step_many(obj_ranges, inv)
+            obj_ranges = ring.object_ranges_many(subjects, obs=ctx.obs)
+            steps = ring.backward_step_many(obj_ranges, inv, obs=ctx.obs)
             for i, subject in enumerate(subjects):
                 budget.tick()
                 subject_label = dictionary.node_label(subject)
@@ -1139,7 +1179,7 @@ class RingRPQEngine:
         self,
         p1: int,
         p2: int,
-        budget: _Budget,
+        ctx: _EvalContext,
         limit: int | None,
         result: QueryResult,
     ) -> None:
@@ -1149,6 +1189,7 @@ class RingRPQEngine:
         steps (§5)."""
         ring = self.ring
         dictionary = self.dictionary
+        budget = ctx.budget
         inv1 = dictionary.inverse_predicate(p1)
         inv2 = dictionary.inverse_predicate(p2)
         r1 = ring.predicate_range(inv1)  # subjects here = targets of p1
@@ -1180,26 +1221,29 @@ class RingRPQEngine:
 
     # ------------------------------------------------------------------
 
-    def _prepare(self, expr: RegexNode, stats: QueryStats) -> _Prepared:
+    def _prepare(self, expr: RegexNode, ctx: _EvalContext) -> _Prepared:
         """Compile ``expr`` (or fetch the compilation from cache).
 
         Expression trees are immutable value objects, so they key both
-        a per-``evaluate`` memo (a v-to-v evaluation prepares the same
-        expression and its reverse up to three times) and a bounded
-        per-engine LRU that persists across calls — benchmark loops and
-        dashboards re-issue the same patterns constantly.  A cached
-        entry still refreshes the per-query stats fields.
+        the context's per-``evaluate`` memo (a v-to-v evaluation
+        prepares the same expression and its reverse up to three times)
+        and a bounded per-engine LRU that persists across calls —
+        benchmark loops and dashboards re-issue the same patterns
+        constantly.  The LRU is shared by concurrent evaluations, so
+        its get/insert/evict runs under ``_prepare_lock``; the memo is
+        private to the context and needs none.  A cached entry still
+        refreshes the per-query stats fields.
         """
+        stats = ctx.stats
         stats.prepares += 1
-        obs = self.metrics
-        prepared = None
-        memo = self._call_memo
-        if memo is not None:
-            prepared = memo.get(expr)
+        obs = ctx.obs
+        memo = ctx.memo
+        prepared = memo.get(expr)
         if prepared is None and self._prepare_cache_size:
-            prepared = self._prepare_cache.get(expr)
-            if prepared is not None:
-                self._prepare_cache.move_to_end(expr)
+            with self._prepare_lock:
+                prepared = self._prepare_cache.get(expr)
+                if prepared is not None:
+                    self._prepare_cache.move_to_end(expr)
         if prepared is not None:
             stats.prepare_cache_hits += 1
             if obs.enabled:
@@ -1209,12 +1253,12 @@ class RingRPQEngine:
             if obs.enabled:
                 obs.inc("engine.prepare_builds")
             if self._prepare_cache_size:
-                cache = self._prepare_cache
-                cache[expr] = prepared
-                while len(cache) > self._prepare_cache_size:
-                    cache.popitem(last=False)
-        if memo is not None:
-            memo[expr] = prepared
+                with self._prepare_lock:
+                    cache = self._prepare_cache
+                    cache[expr] = prepared
+                    while len(cache) > self._prepare_cache_size:
+                        cache.popitem(last=False)
+        memo[expr] = prepared
         stats.nfa_states = max(stats.nfa_states, prepared.automaton.num_states)
         stats.b_entries = max(stats.b_entries, len(prepared.b_masks))
         return prepared

@@ -31,8 +31,9 @@ from repro._util.bits import iter_set_bits
 from repro.automata.glushkov import resolve_atom_to_predicates
 from repro.automata.parser import parse_regex
 from repro.automata.syntax import RegexNode
-from repro.core.engine import _BackwardRun, _Budget, _Prepared
+from repro.core.engine import _BackwardRun, _Budget, _EvalContext, _Prepared
 from repro.core.result import QueryStats
+from repro.obs.metrics import NULL_METRICS
 
 
 class RPQRelation:
@@ -120,7 +121,8 @@ class RPQRelation:
             return cached
         run = _BackwardRun(
             self.index.engine, self._prepared_reverse,
-            _Budget(None), self.stats, prune=True,
+            _EvalContext(_Budget(None), self.stats, NULL_METRICS),
+            prune=True,
         )
         reported = run.run(
             self.index.ring.object_range(subject),
@@ -138,7 +140,8 @@ class RPQRelation:
             return cached
         run = _BackwardRun(
             self.index.engine, self._prepared_reverse,
-            _Budget(None), self.stats, prune=True,
+            _EvalContext(_Budget(None), self.stats, NULL_METRICS),
+            prune=True,
         )
         reported = run.run(
             self.index.ring.object_range(subject),

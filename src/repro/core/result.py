@@ -34,6 +34,12 @@ class QueryStats:
     timed_out: bool = False
     #: True when the evaluation stopped at the result cap.
     truncated: bool = False
+    #: True when the evaluation was cancelled cooperatively (the serving
+    #: layer's ``cancel(query_id)`` tripped the budget between ticks).
+    cancelled: bool = False
+    #: True when the result was served from a result cache without
+    #: evaluating — all operation counters are then zero.
+    cached: bool = False
     #: Product-graph node visits, i.e. (node, state-set) expansions.
     product_nodes: int = 0
     #: Product-graph edges traversed (predicate leaves accepted).
@@ -213,5 +219,9 @@ class QueryResult:
             flags.append("TIMEOUT")
         if self.stats.truncated:
             flags.append("TRUNCATED")
+        if self.stats.cancelled:
+            flags.append("CANCELLED")
+        if self.stats.cached:
+            flags.append("CACHED")
         suffix = f" [{', '.join(flags)}]" if flags else ""
         return f"QueryResult({len(self.pairs)} pairs{suffix})"

@@ -50,6 +50,42 @@ class QueryTimeoutError(ReproError):
         self.budget = budget
 
 
+class QueryCancelledError(ReproError):
+    """Query evaluation was cancelled cooperatively between ticks.
+
+    Raised from :meth:`repro.core.engine._Budget.tick` when the
+    evaluation's cancel token is set (the serving layer's
+    ``cancel(query_id)`` API trips it); the engine catches it and
+    returns the partial result with ``stats.cancelled`` set, exactly
+    like a timeout returns its partial result.
+    """
+
+    def __init__(self, elapsed: float):
+        super().__init__(f"query cancelled after {elapsed:.3f}s")
+        self.elapsed = elapsed
+
+
+class OverloadedError(ReproError):
+    """The query service rejected a submission at admission control.
+
+    Fast-reject signal of the bounded-queue serving layer
+    (:class:`repro.serve.QueryService`): the pending queue or the
+    in-flight budget is full.  Callers should back off and retry
+    (``retry_after`` is a suggested initial delay in seconds) or shed
+    the request.
+    """
+
+    def __init__(self, reason: str, pending: int, capacity: int,
+                 retry_after: float = 0.05):
+        super().__init__(
+            f"service overloaded: {reason} ({pending}/{capacity})"
+        )
+        self.reason = reason
+        self.pending = pending
+        self.capacity = capacity
+        self.retry_after = retry_after
+
+
 class ResultLimitExceeded(ReproError):
     """Query produced more results than the configured cap.
 

@@ -6,6 +6,7 @@ module renders any :class:`~repro.obs.metrics.Metrics` (or a plain
 snapshot dict) into that format:
 
 * counters      → ``<prefix>_<name>_total``  (TYPE counter)
+* gauges        → ``<prefix>_<name>``  (TYPE gauge)
 * phase seconds → ``<prefix>_phase_seconds_total{phase="..."}``
 * histograms    → ``<prefix>_<name>`` with cumulative ``_bucket{le=}``
   series plus ``_sum`` and ``_count`` (TYPE histogram)
@@ -73,6 +74,12 @@ def prometheus_text(metrics, prefix: str = "repro") -> str:
         full = f"{prefix}_{_sanitize(name)}_total"
         lines.append(f"# TYPE {full} counter")
         lines.append(f"{full} {counters[name]}")
+
+    gauges = getattr(metrics, "gauges", None) or {}
+    for name in sorted(gauges):
+        full = f"{prefix}_{_sanitize(name)}"
+        lines.append(f"# TYPE {full} gauge")
+        lines.append(f"{full} {_format_value(gauges[name])}")
 
     phases = metrics.phase_seconds
     if phases:

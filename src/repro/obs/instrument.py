@@ -163,10 +163,10 @@ def instrument_ring(ring, metrics: Metrics):
         metrics.inc("ring.backward_step")
         return inner(b_o, e_o, p)
 
-    def backward_step_many(ranges, p: int):
+    def backward_step_many(ranges, p: int, obs=None):
         # A batch of k ranges counts as k steps — same semantics as k
         # scalar calls, just one kernel invocation.
-        out = inner_many(ranges, p)
+        out = inner_many(ranges, p, obs=obs)
         metrics.inc("ring.backward_step", len(out))
         return out
 

@@ -95,11 +95,12 @@ class Metrics:
     #: metric work; the null sink sets it to False.
     enabled = True
 
-    __slots__ = ("counters", "phase_seconds", "histograms", "spans",
-                 "trace", "_hooks")
+    __slots__ = ("counters", "gauges", "phase_seconds", "histograms",
+                 "spans", "trace", "_hooks")
 
     def __init__(self, trace_capacity: int = 0, span_capacity: int = 0):
         self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
         self.phase_seconds: dict[str, float] = {}
         self.histograms: dict[str, LogHistogram] = {}
         self.spans: SpanStack | None = (
@@ -122,6 +123,23 @@ class Metrics:
     def count(self, name: str) -> int:
         """Current value of counter ``name`` (0 when never incremented)."""
         return self.counters.get(name, 0)
+
+    # ------------------------------------------------------------------
+    # Gauges
+    # ------------------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its current ``value``.
+
+        Gauges are point-in-time levels (queue depth, in-flight
+        queries, cache size), overwritten rather than accumulated; the
+        serving layer refreshes them on every state change.
+        """
+        self.gauges[name] = value
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        """Current value of gauge ``name`` (``default`` when never set)."""
+        return self.gauges.get(name, default)
 
     # ------------------------------------------------------------------
     # Histograms
@@ -201,6 +219,8 @@ class Metrics:
         """Fold another registry's counters, phases and histograms in."""
         for name, value in other.counters.items():
             self.inc(name, value)
+        # Gauges are levels, not totals: the most recent reading wins.
+        self.gauges.update(other.gauges)
         for name, seconds in other.phase_seconds.items():
             self.add_phase(name, seconds)
         for name, hist in other.histograms.items():
@@ -208,11 +228,14 @@ class Metrics:
             if mine is None:
                 mine = self.histograms[name] = LogHistogram(hist.growth)
             mine.merge(hist)
+        if self.spans is not None and other.spans is not None:
+            self.spans.absorb(other.spans)
 
     def reset(self) -> None:
         """Clear counters, phases, histograms, spans and the trace
         buffer (hooks stay)."""
         self.counters.clear()
+        self.gauges.clear()
         self.phase_seconds.clear()
         self.histograms.clear()
         if self.spans is not None:
@@ -224,6 +247,7 @@ class Metrics:
         """Plain-dict view: counters, phases, histograms and traces."""
         return {
             "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
             "phase_seconds": dict(sorted(self.phase_seconds.items())),
             "histograms": {
                 name: self.histograms[name].to_dict()
@@ -280,6 +304,12 @@ class NullMetrics:
     def count(self, name: str) -> int:
         return 0
 
+    def set_gauge(self, name: str, value: float) -> None:
+        return None
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        return default
+
     def observe(self, name: str, value: float,
                 growth: float = DEFAULT_GROWTH) -> None:
         return None
@@ -304,6 +334,10 @@ class NullMetrics:
         return {}
 
     @property
+    def gauges(self) -> dict[str, float]:
+        return {}
+
+    @property
     def phase_seconds(self) -> dict[str, float]:
         return {}
 
@@ -312,8 +346,8 @@ class NullMetrics:
         return {}
 
     def snapshot(self) -> dict:
-        return {"counters": {}, "phase_seconds": {}, "histograms": {},
-                "trace": []}
+        return {"counters": {}, "gauges": {}, "phase_seconds": {},
+                "histograms": {}, "trace": []}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "NULL_METRICS"

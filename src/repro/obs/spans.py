@@ -118,6 +118,25 @@ class SpanStack:
         """Context manager form of :meth:`start`/:meth:`end`."""
         return _SpanContext(self, name)
 
+    def absorb(self, other: "SpanStack") -> None:
+        """Fold another stack's *completed* spans into this one.
+
+        This is how per-worker registries surface their spans in a
+        service-wide registry: sids are re-numbered into this stack's
+        sequence (so :meth:`ordered` stays one consistent order across
+        many absorbed stacks), parent links travel with each subtree,
+        and the capacity bound keeps applying.  The other stack should
+        be reset afterwards — its spans now belong to this one.
+        """
+        for span in other.ordered():
+            span.sid = self._next_sid
+            self._next_sid += 1
+            if len(self.spans) < self.capacity:
+                self.spans.append(span)
+            else:
+                self.dropped += 1
+        self.dropped += other.dropped
+
     # ------------------------------------------------------------------
     # Queries / export
     # ------------------------------------------------------------------

@@ -270,7 +270,7 @@ class Ring:
         base = int(self.C_p[p])
         return (base + rank_b, base + rank_e)
 
-    def backward_step_many(self, ranges, p: int) -> np.ndarray:
+    def backward_step_many(self, ranges, p: int, obs=None) -> np.ndarray:
         """Bulk Eq. 4–5 steps: many ``L_p`` ranges, one predicate.
 
         ``ranges`` is a sequence of ``(b_o, e_o)`` pairs (or a
@@ -279,9 +279,14 @@ class Ring:
         root-to-leaf path walk of ``L_p`` with vectorized rank calls,
         so the per-step Python overhead of :meth:`backward_step` is
         paid once per *batch* instead of once per range.
+
+        ``obs`` overrides the ring's registry for this one call — the
+        engine passes its per-query context's registry so concurrent
+        queries never share span stacks (the ring itself is immutable).
         """
         arr = np.asarray(ranges, dtype=np.int64).reshape(-1, 2)
-        obs = self.obs
+        if obs is None:
+            obs = self.obs
         span = None
         if obs.enabled:
             spans = obs.spans
@@ -297,10 +302,15 @@ class Ring:
             obs.spans.end(span)
         return out
 
-    def object_ranges_many(self, nodes) -> np.ndarray:
-        """Bulk :meth:`object_range`: a ``(k, 2)`` array for ``k`` objects."""
+    def object_ranges_many(self, nodes, obs=None) -> np.ndarray:
+        """Bulk :meth:`object_range`: a ``(k, 2)`` array for ``k`` objects.
+
+        ``obs`` overrides the ring's registry for this call (see
+        :meth:`backward_step_many`).
+        """
         idx = np.asarray(nodes, dtype=np.int64)
-        obs = self.obs
+        if obs is None:
+            obs = self.obs
         span = None
         if obs.enabled:
             spans = obs.spans

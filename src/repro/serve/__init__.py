@@ -1,0 +1,35 @@
+"""Concurrent query serving over one shared immutable ring.
+
+The paper positions the ring as a read-only index many queries can
+traverse at once; this package supplies the serving layer that makes
+that operational: a worker pool (:class:`QueryService`), admission
+control with typed overload rejections (:class:`AdmissionController`),
+deadline/cancellation propagation onto the engine's budget ticks, and
+a completeness-aware LRU result cache (:class:`ResultCache`).
+
+See ``docs/serving.md`` for the architecture and the degradation
+contract.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.batch import drain_queries, load_query_file
+from repro.serve.cache import CacheEntry, ResultCache
+from repro.serve.keys import (
+    index_fingerprint,
+    normalize_expr,
+    query_cache_key,
+)
+from repro.serve.service import QueryService, Ticket
+
+__all__ = [
+    "AdmissionController",
+    "CacheEntry",
+    "QueryService",
+    "ResultCache",
+    "Ticket",
+    "drain_queries",
+    "index_fingerprint",
+    "load_query_file",
+    "normalize_expr",
+    "query_cache_key",
+]

@@ -1,0 +1,124 @@
+"""Admission control: bounded queueing and in-flight limits.
+
+A serving layer over a CPU-bound engine degrades *sharply* once work
+arrives faster than it drains — queues grow without bound, every
+deadline starts expiring, and the system does a lot of work it then
+throws away.  The standard answer (and the one this module implements)
+is to fast-reject at the door instead: a bounded pending queue plus an
+in-flight cap, with a typed :class:`~repro.errors.OverloadedError`
+carrying a suggested backoff so well-behaved clients retry instead of
+hammering.
+
+The controller is deliberately small: two counters and a semaphore
+behind one lock.  The service holds the actual queue; the controller
+just decides whether a submission may enter and tracks the levels the
+queue-depth / in-flight gauges report.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import OverloadedError
+
+
+class AdmissionController:
+    """Bounded-queue admission decisions for a query service.
+
+    Parameters
+    ----------
+    max_pending:
+        Maximum number of admitted-but-not-finished queries (queued
+        plus executing).  Submissions beyond it raise
+        :class:`OverloadedError` immediately — the fast-reject path.
+    max_inflight:
+        Maximum number of queries *executing* concurrently; workers
+        block on this before evaluating, so a service can run many
+        worker threads but bound the evaluation concurrency (useful
+        when a few heavy queries should not monopolise every worker).
+        ``None`` means "as many as there are workers".
+    retry_after:
+        Suggested initial client backoff (seconds) carried in the
+        rejection error.
+    """
+
+    def __init__(self, max_pending: int = 64,
+                 max_inflight: int | None = None,
+                 retry_after: float = 0.05):
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1 or None")
+        self.max_pending = max_pending
+        self.max_inflight = max_inflight
+        self.retry_after = retry_after
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._inflight = 0
+        self._slots = (
+            threading.Semaphore(max_inflight)
+            if max_inflight is not None else None
+        )
+        self.admitted = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Admitted queries not yet finished (queued + executing)."""
+        return self._pending
+
+    @property
+    def inflight(self) -> int:
+        """Queries currently executing on a worker."""
+        return self._inflight
+
+    def admit(self) -> None:
+        """Claim one pending slot or raise :class:`OverloadedError`."""
+        with self._lock:
+            if self._pending >= self.max_pending:
+                self.rejected += 1
+                raise OverloadedError(
+                    "pending queue full", self._pending, self.max_pending,
+                    retry_after=self.retry_after,
+                )
+            self._pending += 1
+            self.admitted += 1
+
+    def start(self) -> None:
+        """Worker-side: block for an execution slot, mark in-flight."""
+        if self._slots is not None:
+            self._slots.acquire()
+        with self._lock:
+            self._inflight += 1
+
+    def finish(self) -> None:
+        """Worker-side: release the execution slot and the pending slot."""
+        with self._lock:
+            self._inflight -= 1
+            self._pending -= 1
+        if self._slots is not None:
+            self._slots.release()
+
+    def abandon(self) -> None:
+        """Release a pending slot that never started executing
+        (cancelled while queued, or drained at shutdown)."""
+        with self._lock:
+            self._pending -= 1
+
+    def snapshot(self) -> dict:
+        """Plain-dict statistics view."""
+        with self._lock:
+            return {
+                "max_pending": self.max_pending,
+                "max_inflight": self.max_inflight,
+                "pending": self._pending,
+                "inflight": self._inflight,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"AdmissionController(pending={self._pending}/"
+                f"{self.max_pending}, inflight={self._inflight})")

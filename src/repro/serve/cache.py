@@ -1,0 +1,166 @@
+"""LRU result cache for the serving layer.
+
+Caching partial results is where RPQ caches silently go wrong, so the
+storage policy is explicit about completeness:
+
+* Only *settled* results enter the cache — completed evaluations and
+  limit-truncated ones.  Timed-out and cancelled partials are never
+  stored: how far they got depends on wall-clock scheduling, so the
+  same query could cache different answers on different days.
+* A **complete** result (not truncated) is stored once, unkeyed by
+  limit, and served for any request whose cap could not have bitten:
+  ``limit is None`` or ``limit > len(pairs)``.  The strict inequality
+  matters — at ``limit == len(pairs)`` the engine would have stopped
+  *at* the cap and tagged the result truncated, so serving the
+  complete entry would return the right pairs with the wrong flag.
+* A **truncated** result is stored under its exact limit and served
+  only for requests with that same limit (which limit's worth of
+  prefix the engine materialises is deterministic for a fixed engine
+  configuration, so the entry is a faithful replay).  In particular a
+  truncated entry can never answer an uncapped query.
+
+Entries hold immutable ``frozenset`` pair sets; every hit materialises
+a fresh :class:`~repro.core.result.QueryResult` whose stats are zeroed
+except ``cached``/``truncated`` — a cache hit did no index work, and
+the zero ``backward_steps`` is how tests (and dashboards) verify the
+evaluation was actually skipped.
+
+The cache is thread-safe (one lock around the OrderedDict; entries
+are immutable after insertion) and shared by all service workers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.core.result import QueryResult, QueryStats
+
+
+class CacheEntry:
+    """One stored answer set."""
+
+    __slots__ = ("pairs", "truncated", "limit")
+
+    def __init__(self, pairs: frozenset, truncated: bool,
+                 limit: int | None):
+        self.pairs = pairs
+        self.truncated = truncated
+        self.limit = limit
+
+
+class ResultCache:
+    """Bounded LRU of settled query results.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of retained entries; ``0`` disables the cache
+        (every lookup misses, nothing is stored).
+    """
+
+    def __init__(self, capacity: int = 128):
+        self.capacity = max(0, int(capacity))
+        self._entries: OrderedDict[tuple, CacheEntry] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.rejected_stores = 0
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def lookup(self, key: tuple, limit: int | None) -> QueryResult | None:
+        """A fresh :class:`QueryResult` for ``key`` under ``limit``,
+        or ``None`` on miss.  Counts the hit/miss either way."""
+        if self.capacity == 0:
+            self.misses += 1
+            return None
+        with self._lock:
+            entry = None
+            if limit is not None:
+                entry = self._entries.get((key, limit))
+            if entry is None:
+                complete = self._entries.get((key, None))
+                if complete is not None and (
+                    limit is None or limit > len(complete.pairs)
+                ):
+                    entry = complete
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end((key, entry.limit))
+            self.hits += 1
+        stats = QueryStats()
+        stats.cached = True
+        stats.truncated = entry.truncated
+        return QueryResult(pairs=set(entry.pairs), stats=stats)
+
+    def store(self, key: tuple, limit: int | None,
+              result: QueryResult) -> bool:
+        """Offer a finished evaluation; returns True when stored.
+
+        Refuses timed-out, cancelled and already-cached results (the
+        last to keep a hit from re-inserting itself and churning the
+        LRU order beyond the ``move_to_end`` the lookup already did).
+        """
+        stats = result.stats
+        if (self.capacity == 0 or stats.timed_out or stats.cancelled
+                or stats.cached):
+            self.rejected_stores += 1
+            return False
+        entry_limit = limit if stats.truncated else None
+        entry = CacheEntry(
+            frozenset(result.pairs), stats.truncated, entry_limit
+        )
+        with self._lock:
+            entries = self._entries
+            entries[(key, entry_limit)] = entry
+            entries.move_to_end((key, entry_limit))
+            while len(entries) > self.capacity:
+                entries.popitem(last=False)
+                self.evictions += 1
+        return True
+
+    def invalidate(self) -> int:
+        """Drop every entry; returns how many were dropped.
+
+        The service calls this from its ``invalidate_cache`` hook when
+        the underlying data changed in place.  (Swapping in a new
+        index invalidates implicitly through the fingerprint baked
+        into every key.)
+        """
+        with self._lock:
+            n = len(self._entries)
+            self._entries.clear()
+            return n
+
+    # ------------------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups so far (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        """Plain-dict statistics view."""
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "capacity": self.capacity,
+            "size": size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "rejected_stores": self.rejected_stores,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ResultCache({len(self)}/{self.capacity}, "
+                f"hits={self.hits}, misses={self.misses})")

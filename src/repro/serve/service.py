@@ -1,0 +1,476 @@
+"""The concurrent query service: a thread pool over one shared ring.
+
+The ring is an immutable succinct index and the engine's evaluation is
+re-entrant (every per-call mutable belongs to a private context — see
+``repro.core.engine._EvalContext``), so one
+:class:`~repro.core.engine.RingRPQEngine` serves any number of worker
+threads.  :class:`QueryService` supplies the machinery around that
+fact:
+
+* **admission control** — a bounded pending queue with fast-reject
+  (:class:`~repro.errors.OverloadedError`) and an optional in-flight
+  cap (:mod:`repro.serve.admission`);
+* **deadlines and cancellation** — per-query timeouts, absolute
+  deadlines, and a :meth:`cancel` API; all three ride the engine's
+  cooperative ``_Budget`` ticks, so interruption lands at safe points
+  and every partial result is well-formed;
+* **result caching** — an LRU keyed on (normalized expression, bound
+  endpoints, graph fingerprint) with completeness-aware serving rules
+  (:mod:`repro.serve.cache`);
+* **graceful degradation** — a query whose deadline expires returns
+  its partial result tagged ``truncated`` (and ``timed_out``) instead
+  of raising, and :meth:`submit_with_retry` backs off and retries
+  transient rejections.
+
+Under CPython's GIL the pool does **not** scale single-query CPU-bound
+throughput — the workers exist for latency isolation (slow queries
+don't head-of-line-block fast ones behind one loop), bounded-queue
+load shedding, and cache-amplified aggregate throughput on repeated
+workloads; ``docs/serving.md`` discusses the numbers honestly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+
+from repro.core.engine import RingRPQEngine
+from repro.core.query import RPQ, as_query
+from repro.core.result import QueryResult, QueryStats
+from repro.errors import OverloadedError
+from repro.obs.metrics import Metrics, NULL_METRICS
+from repro.serve.admission import AdmissionController
+from repro.serve.cache import ResultCache
+from repro.serve.keys import index_fingerprint, query_cache_key
+
+_SHUTDOWN = object()
+
+
+class Ticket:
+    """Handle on one submitted query.
+
+    ``result()`` blocks until the query settles (or raises what the
+    evaluation raised); ``cancel()`` requests cooperative cancellation
+    — queued queries never start, running ones stop at the next budget
+    tick with a well-formed partial result tagged ``cancelled``.
+    """
+
+    __slots__ = ("query_id", "query", "timeout", "limit", "deadline",
+                 "submitted_at", "cancel_event", "_done", "_result",
+                 "_error")
+
+    def __init__(self, query_id: str, query: RPQ,
+                 timeout: float | None, limit: int | None,
+                 deadline: float | None):
+        self.query_id = query_id
+        self.query = query
+        self.timeout = timeout
+        self.limit = limit
+        self.deadline = deadline
+        self.submitted_at = time.monotonic()
+        self.cancel_event = threading.Event()
+        self._done = threading.Event()
+        self._result: QueryResult | None = None
+        self._error: BaseException | None = None
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation."""
+        self.cancel_event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """True when cancellation has been requested."""
+        return self.cancel_event.is_set()
+
+    def done(self) -> bool:
+        """True once the query has settled."""
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> QueryResult:
+        """Block for the result; raises the evaluation's error, or
+        :class:`TimeoutError` when the wait itself times out."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"query {self.query_id} not settled within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def _settle(self, result: QueryResult | None,
+                error: BaseException | None = None) -> None:
+        self._result = result
+        self._error = error
+        self._done.set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done() else (
+            "cancelled" if self.cancelled else "pending"
+        )
+        return f"Ticket({self.query_id}, {state})"
+
+
+class QueryService:
+    """Thread-pool RPQ serving over one shared immutable ring.
+
+    Parameters
+    ----------
+    index:
+        The :class:`~repro.ring.builder.RingIndex` to serve.
+    workers:
+        Worker-thread count.
+    max_pending:
+        Admission bound: queued + executing queries beyond this are
+        fast-rejected with :class:`OverloadedError`.
+    max_inflight:
+        Optional cap on concurrently *executing* queries (defaults to
+        the worker count by construction).
+    cache_size:
+        Result-cache capacity; ``0`` disables caching.
+    default_timeout / default_limit:
+        Applied when :meth:`submit` gets no per-query values.
+    metrics:
+        A :class:`~repro.obs.metrics.Metrics` registry for service
+        counters, gauges and latency histograms.  Workers evaluate
+        against private per-thread registries (the registry class is
+        not thread-safe) and merge into this one under a lock after
+        every query.
+    slow_log:
+        A :class:`~repro.obs.slowlog.SlowQueryLog`; the service owns
+        recording (under its lock — the log is not thread-safe), so
+        the engine is built without one.
+    engine:
+        Optionally a pre-configured engine over ``index`` (ablations,
+        scalar reference, custom prepare-cache size).  Its ``slow_log``
+        should be ``None``; the service records instead.
+    """
+
+    def __init__(
+        self,
+        index,
+        workers: int = 4,
+        max_pending: int = 64,
+        max_inflight: int | None = None,
+        cache_size: int = 128,
+        default_timeout: float | None = None,
+        default_limit: int | None = None,
+        metrics=None,
+        slow_log=None,
+        engine=None,
+        retry_after: float = 0.05,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.index = index
+        self.engine = engine if engine is not None else RingRPQEngine(index)
+        self.workers = workers
+        self.default_timeout = default_timeout
+        self.default_limit = default_limit
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.slow_log = slow_log
+        self.cache = ResultCache(cache_size)
+        self.admission = AdmissionController(
+            max_pending=max_pending, max_inflight=max_inflight,
+            retry_after=retry_after,
+        )
+        self._fingerprint = index_fingerprint(index)
+        self._queue: queue.Queue = queue.Queue()
+        self._tickets: dict[str, Ticket] = {}
+        self._lock = threading.Lock()      # tickets / obs merge / slowlog
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, args=(i,),
+                name=f"repro-serve-{i}", daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission API
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        query: RPQ | str,
+        timeout: float | None = None,
+        limit: int | None = None,
+        deadline: float | None = None,
+    ) -> Ticket:
+        """Admit one query; returns a :class:`Ticket` immediately.
+
+        ``timeout`` is a per-evaluation wall-clock budget; ``deadline``
+        an *absolute* :func:`time.monotonic` instant covering queueing
+        too (whichever is tighter wins).  Raises
+        :class:`OverloadedError` when admission control rejects, and
+        parse errors synchronously (a malformed query never occupies a
+        queue slot).
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        rpq = as_query(query)
+        if timeout is None:
+            timeout = self.default_timeout
+        if limit is None:
+            limit = self.default_limit
+
+        obs = self.metrics
+        key = query_cache_key(rpq, self._fingerprint)
+        cached = self.cache.lookup(key, limit)
+        query_id = f"q{next(self._ids)}"
+        if cached is not None:
+            if obs.enabled:
+                with self._lock:
+                    obs.inc("serve.submitted")
+                    obs.inc("serve.cache_hits")
+                    obs.set_gauge("serve.cache_size", len(self.cache))
+            ticket = Ticket(query_id, rpq, timeout, limit, deadline)
+            ticket._settle(cached)
+            return ticket
+
+        self.admission.admit()   # raises OverloadedError on rejection
+        ticket = Ticket(query_id, rpq, timeout, limit, deadline)
+        with self._lock:
+            self._tickets[query_id] = ticket
+            if obs.enabled:
+                obs.inc("serve.submitted")
+                obs.inc("serve.cache_misses")
+                self._refresh_gauges(obs)
+        self._queue.put((key, ticket))
+        return ticket
+
+    def submit_with_retry(
+        self,
+        query: RPQ | str,
+        retries: int = 5,
+        backoff: float | None = None,
+        backoff_factor: float = 2.0,
+        **kwargs,
+    ) -> Ticket:
+        """Like :meth:`submit`, but retries transient rejections.
+
+        On :class:`OverloadedError` sleeps the error's suggested
+        ``retry_after`` (or ``backoff``) growing by ``backoff_factor``
+        per attempt; re-raises after ``retries`` failed attempts.
+        """
+        delay = backoff
+        for attempt in range(retries + 1):
+            try:
+                return self.submit(query, **kwargs)
+            except OverloadedError as err:
+                if attempt == retries:
+                    raise
+                pause = delay if delay is not None else err.retry_after
+                time.sleep(pause * (backoff_factor ** attempt))
+        raise AssertionError("unreachable")
+
+    def cancel(self, query_id: str) -> bool:
+        """Request cancellation of a submitted query.
+
+        Returns True when the query was still live (queued or
+        running); its ticket then settles with ``stats.cancelled`` —
+        queued queries never start, running ones stop at the next
+        budget tick.
+        """
+        with self._lock:
+            ticket = self._tickets.get(query_id)
+        if ticket is None or ticket.done():
+            return False
+        ticket.cancel()
+        return True
+
+    def evaluate(self, query: RPQ | str, **kwargs) -> QueryResult:
+        """Submit (with retry) and block for the result."""
+        return self.submit_with_retry(query, **kwargs).result()
+
+    def run(self, queries, **kwargs) -> list[QueryResult]:
+        """Drain a sequence of queries through the pool, in order.
+
+        Submits everything (with retry-on-overload) before collecting,
+        so up to ``max_pending`` queries overlap; the returned list is
+        index-aligned with ``queries``.
+        """
+        tickets = [self.submit_with_retry(q, **kwargs) for q in queries]
+        return [t.result() for t in tickets]
+
+    # ------------------------------------------------------------------
+    # Cache / lifecycle
+    # ------------------------------------------------------------------
+
+    def invalidate_cache(self) -> int:
+        """Drop all cached results (data changed in place); returns
+        the number of entries dropped."""
+        dropped = self.cache.invalidate()
+        obs = self.metrics
+        if obs.enabled:
+            with self._lock:
+                obs.inc("serve.cache_invalidations")
+                obs.set_gauge("serve.cache_size", 0)
+        return dropped
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) join the workers.
+
+        Queries still queued are drained and settled normally before
+        the workers exit.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._threads:
+            self._queue.put(_SHUTDOWN)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """Service-level statistics snapshot."""
+        return {
+            "workers": self.workers,
+            "fingerprint": self._fingerprint,
+            "cache": self.cache.snapshot(),
+            "admission": self.admission.snapshot(),
+        }
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def _refresh_gauges(self, obs) -> None:
+        # Callers hold self._lock.
+        obs.set_gauge("serve.queue_depth", self.admission.pending)
+        obs.set_gauge("serve.inflight", self.admission.inflight)
+        obs.set_gauge("serve.cache_size", len(self.cache))
+
+    def _worker_loop(self, worker_id: int) -> None:
+        service_obs = self.metrics
+        enabled = service_obs.enabled
+        # Per-worker private registry: Metrics is not thread-safe, so
+        # each worker accumulates locally and merges under the lock.
+        local = Metrics(span_capacity=64) if enabled else NULL_METRICS
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            key, ticket = item
+            if ticket.cancelled:
+                # Cancelled while queued: settle without ever running.
+                self.admission.abandon()
+                stats = QueryStats()
+                stats.cancelled = True
+                self._finish(
+                    key, ticket, QueryResult(stats=stats),
+                    local, worker_id, waited=0.0, ran=False,
+                )
+                continue
+            self.admission.start()
+            waited = time.monotonic() - ticket.submitted_at
+            try:
+                result = self._evaluate_ticket(ticket, local, worker_id)
+                error = None
+            except BaseException as exc:  # noqa: BLE001 - settle tickets
+                result, error = None, exc
+            finally:
+                self.admission.finish()
+            if error is not None:
+                with self._lock:
+                    self._tickets.pop(ticket.query_id, None)
+                    if enabled:
+                        service_obs.inc("serve.errors")
+                        self._refresh_gauges(service_obs)
+                ticket._settle(None, error)
+            else:
+                self._finish(
+                    key, ticket, result, local, worker_id,
+                    waited=waited, ran=True,
+                )
+
+    def _evaluate_ticket(self, ticket: Ticket, local, worker_id: int):
+        timeout = ticket.timeout
+        if ticket.deadline is not None:
+            remaining = ticket.deadline - time.monotonic()
+            if remaining <= 0:
+                # Expired while queued: degrade gracefully without
+                # touching the index.
+                stats = QueryStats()
+                stats.timed_out = True
+                stats.truncated = True
+                return QueryResult(stats=stats)
+            timeout = (
+                remaining if timeout is None else min(timeout, remaining)
+            )
+        span = None
+        spans = local.spans if local.enabled else None
+        if spans is not None:
+            span = spans.start(f"worker:{worker_id}")
+            span.set(query=str(ticket.query), query_id=ticket.query_id)
+        try:
+            result = self.engine.evaluate(
+                ticket.query,
+                timeout=timeout,
+                limit=ticket.limit,
+                metrics=local,
+                cancel=ticket.cancel_event,
+            )
+        finally:
+            # The span must close even on an evaluation error — a
+            # worker's local registry outlives the query, and a leaked
+            # open span would swallow the next query's spans under it.
+            if span is not None:
+                spans.end(span)
+        if span is not None:
+            span.set(n_results=len(result.pairs))
+        if result.stats.timed_out:
+            # Degradation contract: deadline/timeout expiry returns the
+            # partial answer tagged truncated, never an error.
+            result.stats.truncated = True
+        return result
+
+    def _finish(self, key, ticket, result, local, worker_id: int,
+                waited: float, ran: bool) -> None:
+        stats = result.stats
+        if ran:
+            self.cache.store(key, ticket.limit, result)
+        obs = self.metrics
+        with self._lock:
+            self._tickets.pop(ticket.query_id, None)
+            if obs.enabled:
+                obs.inc("serve.completed")
+                if stats.cancelled:
+                    obs.inc("serve.cancelled")
+                if stats.timed_out:
+                    obs.inc("serve.timed_out")
+                obs.observe("serve.wait_seconds", waited)
+                obs.observe("serve.query_seconds", stats.elapsed)
+                obs.merge(local)
+                self._refresh_gauges(obs)
+            if local.enabled:
+                local.reset()
+            slow_log = self.slow_log
+            if slow_log is not None and slow_log.would_keep(stats.elapsed):
+                slow_log.record(
+                    str(ticket.query), stats.elapsed,
+                    n_results=len(result.pairs),
+                    timed_out=stats.timed_out,
+                    truncated=stats.truncated,
+                    counters=stats.operation_counts(),
+                    engine=f"serve/{self.engine.name}",
+                )
+        ticket._settle(result)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"QueryService(workers={self.workers}, "
+                f"pending={self.admission.pending}, "
+                f"cache={len(self.cache)}/{self.cache.capacity})")

@@ -1,0 +1,146 @@
+"""The engine-level re-entrancy contract, without the serving layer.
+
+PR 4's tentpole rests on ``RingRPQEngine.evaluate`` being safe to call
+from many threads on one shared instance: every per-call mutable
+(budget, stats, metrics registry, forbidden-node set, prepare memo)
+travels in a private ``_EvalContext``, and the only cross-query state
+— the prepare LRU — is lock-guarded.  These tests exercise that
+contract directly with raw threads, including the historical bug
+class: instrumentation and forbidden sets leaking between interleaved
+evaluations.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.engine import RingRPQEngine
+
+pytestmark = pytest.mark.concurrency
+
+
+def _race(n_threads, fn):
+    """Run ``fn(i)`` on n threads through a start barrier; re-raise
+    the first worker error."""
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def runner(i):
+        try:
+            barrier.wait()
+            fn(i)
+        except BaseException as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=runner, args=(i,))
+               for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+class TestSharedEngineThreads:
+    def test_same_query_all_threads(self, kg_index):
+        engine = RingRPQEngine(kg_index)
+        query = "(?x, (p0|p1)*, ?y)"
+        expected = engine.evaluate(query, timeout=60).pairs
+        results = [None] * 8
+
+        def work(i):
+            results[i] = engine.evaluate(query, timeout=60).pairs
+
+        _race(8, work)
+        assert all(pairs == expected for pairs in results)
+
+    def test_distinct_queries_keep_distinct_counters(self, kg_index):
+        """Interleaved evaluations must not cross-pollute stats: each
+        thread's counter record equals its query's sequential record
+        (prepare LRU off — cache warmth is scheduling, not work)."""
+        engine = RingRPQEngine(kg_index, prepare_cache_size=0)
+        queries = ["(?x, p0, ?y)", "(?x, p1+, ?y)", "(?x, (p0|p2)*, ?y)",
+                   "(?x, ^p1/p0, ?y)"]
+        expected = {
+            q: engine.evaluate(q, timeout=60).stats.operation_counts()
+            for q in queries
+        }
+        outcomes = [None] * 8
+
+        def work(i):
+            q = queries[i % len(queries)]
+            outcomes[i] = (q, engine.evaluate(
+                q, timeout=60).stats.operation_counts())
+
+        _race(8, work)
+        for q, counters in outcomes:
+            assert counters == expected[q], q
+
+    def test_forbidden_nodes_stay_private(self, kg_graph, kg_index):
+        """One thread evaluates with forbidden intermediates, others
+        without; before the context refactor the forbidden set lived
+        on the engine and leaked into concurrent evaluations."""
+        engine = RingRPQEngine(kg_index)
+        query = "(?x, (p0|p1)*, ?y)"
+        forbidden = kg_graph.nodes[:40]
+        unrestricted = engine.evaluate(query, timeout=60).pairs
+        restricted = engine.evaluate(query, timeout=60,
+                                     forbidden_nodes=forbidden).pairs
+        assert restricted <= unrestricted
+
+        results = [None] * 8
+
+        def work(i):
+            if i % 2:
+                results[i] = ("restricted", engine.evaluate(
+                    query, timeout=60, forbidden_nodes=forbidden).pairs)
+            else:
+                results[i] = ("unrestricted", engine.evaluate(
+                    query, timeout=60).pairs)
+
+        _race(8, work)
+        for kind, pairs in results:
+            want = restricted if kind == "restricted" else unrestricted
+            assert pairs == want, kind
+
+    def test_prepare_lru_warm_and_cold_agree(self, kg_index):
+        """The lock-guarded prepare LRU is the one shared mutable:
+        concurrent warm/cold compilations of the same expressions must
+        not corrupt each other or the answers."""
+        engine = RingRPQEngine(kg_index, prepare_cache_size=2)
+        queries = ["(?x, p0/p1, ?y)", "(?x, p2|p3, ?y)",
+                   "(?x, p4*, ?y)", "(?x, ^p0, ?y)"]
+        expected = {q: engine.evaluate(q, timeout=60).pairs
+                    for q in queries}
+
+        def work(i):
+            for q in queries:
+                assert engine.evaluate(q, timeout=60).pairs == expected[q]
+
+        _race(6, work)
+
+    def test_cancellation_is_per_call(self, kg_index):
+        """A cancel token passed to one call must not interrupt the
+        others sharing the engine."""
+        engine = RingRPQEngine(kg_index)
+        query = "(?x, (p0|p1)*, ?y)"
+        expected = engine.evaluate(query, timeout=60).pairs
+        cancel = threading.Event()
+        cancel.set()
+        results = [None] * 6
+
+        def work(i):
+            if i == 0:
+                results[i] = engine.evaluate(query, timeout=60,
+                                             cancel=cancel)
+            else:
+                results[i] = engine.evaluate(query, timeout=60)
+
+        _race(6, work)
+        assert results[0].stats.cancelled
+        for result in results[1:]:
+            assert not result.stats.cancelled
+            assert result.pairs == expected

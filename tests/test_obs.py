@@ -135,9 +135,11 @@ class TestMetrics:
         assert n.histograms == {} and n.histogram("lat") is None
         assert n.spans is None
         assert list(n.trace_events()) == []
+        n.set_gauge("g", 1.0)
+        assert n.gauge("g") == 0.0 and n.gauges == {}
         assert n.snapshot() == {
-            "counters": {}, "phase_seconds": {}, "histograms": {},
-            "trace": []
+            "counters": {}, "gauges": {}, "phase_seconds": {},
+            "histograms": {}, "trace": []
         }
 
 

@@ -15,8 +15,9 @@ import pytest
 from repro.automata.bitparallel import ForwardSimulator, ReverseSimulator
 from repro.automata.glushkov import build_glushkov
 from repro.automata.parser import parse_regex
-from repro.core.engine import _BackwardRun, _Budget, _Prepared
+from repro.core.engine import _BackwardRun, _Budget, _EvalContext, _Prepared
 from repro.core.result import QueryStats
+from repro.obs.metrics import NULL_METRICS
 
 
 @pytest.fixture(scope="module")
@@ -176,7 +177,9 @@ class TestFig6Traversal:
         prepared = _Prepared(expr, index)
         stats = QueryStats()
         run = _BackwardRun(
-            index.engine, prepared, _Budget(None), stats, prune=True
+            index.engine, prepared,
+            _EvalContext(_Budget(None), stats, NULL_METRICS),
+            prune=True,
         )
         anchor = index.dictionary.node_id("Baq")
         reported = run.run(

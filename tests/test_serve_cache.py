@@ -1,0 +1,244 @@
+"""Cache-correctness tests: keys, normalization, and serving policy.
+
+A result cache over an RPQ engine is only sound if (a) two queries
+sharing a key provably share an answer set and (b) partial results are
+never served where a complete one was asked for.  These tests pin both
+halves differentially: normalization variants must hit one cache line
+*and* agree with the engine; completeness rules must never let a
+truncated entry leak into an uncapped request.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.parser import parse_regex
+from repro.core.engine import RingRPQEngine
+from repro.core.query import as_query
+from repro.core.result import QueryResult, QueryStats
+from repro.graph.generators import random_graph
+from repro.obs.metrics import Metrics
+from repro.ring.builder import RingIndex
+from repro.serve import (
+    QueryService,
+    ResultCache,
+    index_fingerprint,
+    normalize_expr,
+    query_cache_key,
+)
+
+
+def norm(text: str) -> str:
+    return str(normalize_expr(parse_regex(text)))
+
+
+class TestNormalization:
+    @pytest.mark.parametrize("a, b", [
+        ("a|b", "b|a"),
+        ("a|b|a", "b|a"),
+        ("a/(b/c)", "(a/b)/c"),
+        ("(a*)*", "a*"),
+        ("(a+)*", "a*"),
+        ("(a?)*", "a*"),
+        ("(a*)+", "a*"),
+        ("(a+)+", "a+"),
+        ("(a?)+", "a*"),
+        ("(a*)?", "a*"),
+        ("(a+)?", "a*"),
+        ("(a?)?", "a?"),
+        ("(a)", "a"),
+        ("a|(b|c)", "(a|b)|c"),
+    ])
+    def test_equivalent_forms_normalize_identically(self, a, b):
+        assert norm(a) == norm(b)
+
+    @pytest.mark.parametrize("a, b", [
+        ("a/b", "b/a"),      # concatenation is NOT commutative
+        ("a*", "a+"),        # ε-acceptance differs
+        ("a", "a?"),
+        ("a|b", "a/b"),
+    ])
+    def test_inequivalent_forms_stay_distinct(self, a, b):
+        assert norm(a) != norm(b)
+
+    def test_normalization_preserves_answers(self, kg_index):
+        """The differential check behind every rewrite rule: the
+        normalized expression evaluates to the same pair set."""
+        engine = RingRPQEngine(kg_index)
+        for text in ["(p0|p1)|p0", "((p0*)*)?", "p0/(p1/p2)",
+                     "(p0+)?", "(^p0|p1)*"]:
+            query = f"(?x, {text}, ?y)"
+            normalized = str(normalize_expr(parse_regex(text)))
+            assert engine.evaluate(query).pairs == engine.evaluate(
+                f"(?x, {normalized}, ?y)").pairs, text
+
+
+class TestCacheKeys:
+    def test_variable_names_collapse(self, kg_index):
+        fp = index_fingerprint(kg_index)
+        k1 = query_cache_key(as_query("(?x, p0/p1, ?y)"), fp)
+        k2 = query_cache_key(as_query("(?subject, p0/p1, ?obj)"), fp)
+        assert k1 == k2
+
+    def test_constants_do_not_collapse(self, kg_graph, kg_index):
+        fp = index_fingerprint(kg_index)
+        node = kg_graph.nodes[0]
+        k1 = query_cache_key(as_query(f"({node}, p0, ?y)"), fp)
+        k2 = query_cache_key(as_query("(?x, p0, ?y)"), fp)
+        assert k1 != k2
+
+    def test_normalization_reaches_the_key(self, kg_index):
+        fp = index_fingerprint(kg_index)
+        k1 = query_cache_key(as_query("(?x, p0|p1, ?y)"), fp)
+        k2 = query_cache_key(as_query("(?x, p1|p0|p1, ?y)"), fp)
+        assert k1 == k2
+
+    def test_fingerprint_distinguishes_graphs(self):
+        g1 = random_graph(n_nodes=30, n_edges=90, n_predicates=4, seed=1)
+        g2 = random_graph(n_nodes=30, n_edges=90, n_predicates=4, seed=2)
+        fp1 = index_fingerprint(RingIndex.from_graph(g1))
+        fp2 = index_fingerprint(RingIndex.from_graph(g2))
+        assert fp1 != fp2
+
+    def test_fingerprint_is_memoized_and_stable(self, kg_index):
+        assert index_fingerprint(kg_index) == index_fingerprint(kg_index)
+
+
+def _result(pairs, truncated=False, timed_out=False, cancelled=False,
+            cached=False):
+    stats = QueryStats()
+    stats.truncated = truncated
+    stats.timed_out = timed_out
+    stats.cancelled = cancelled
+    stats.cached = cached
+    return QueryResult(pairs=set(pairs), stats=stats)
+
+
+class TestResultCachePolicy:
+    KEY = ("fp", ("v", "?"), "e", ("v", "?"))
+
+    def test_complete_entry_served_only_above_its_size(self):
+        cache = ResultCache(8)
+        cache.store(self.KEY, None, _result({(1, 2), (3, 4)}))
+        # Uncapped and strictly-larger caps hit.
+        assert cache.lookup(self.KEY, None).pairs == {(1, 2), (3, 4)}
+        assert cache.lookup(self.KEY, 3) is not None
+        # limit == len(pairs): the engine would have tagged truncated,
+        # so the complete entry must NOT answer.
+        assert cache.lookup(self.KEY, 2) is None
+        assert cache.lookup(self.KEY, 1) is None
+
+    def test_truncated_entry_needs_exact_limit(self):
+        cache = ResultCache(8)
+        cache.store(self.KEY, 5, _result({(1, 2)}, truncated=True))
+        hit = cache.lookup(self.KEY, 5)
+        assert hit is not None and hit.stats.truncated
+        # Never served uncapped, nor for any other limit.
+        assert cache.lookup(self.KEY, None) is None
+        assert cache.lookup(self.KEY, 4) is None
+        assert cache.lookup(self.KEY, 6) is None
+
+    def test_timed_out_and_cancelled_never_stored(self):
+        cache = ResultCache(8)
+        assert not cache.store(self.KEY, None, _result({(1, 2)},
+                                                       timed_out=True))
+        assert not cache.store(self.KEY, None, _result({(1, 2)},
+                                                       cancelled=True))
+        assert not cache.store(self.KEY, None, _result({(1, 2)},
+                                                       cached=True))
+        assert cache.lookup(self.KEY, None) is None
+        assert cache.rejected_stores == 3
+
+    def test_hit_returns_fresh_result(self):
+        cache = ResultCache(8)
+        cache.store(self.KEY, None, _result({(1, 2)}))
+        first = cache.lookup(self.KEY, None)
+        first.pairs.add((9, 9))  # mutating a hit must not poison it
+        second = cache.lookup(self.KEY, None)
+        assert second.pairs == {(1, 2)}
+        assert second.stats.cached and second.stats.backward_steps == 0
+
+    def test_lru_eviction(self):
+        cache = ResultCache(2)
+        keys = [("fp", ("v", "?"), e, ("v", "?")) for e in "abc"]
+        cache.store(keys[0], None, _result({(0, 0)}))
+        cache.store(keys[1], None, _result({(1, 1)}))
+        cache.lookup(keys[0], None)                  # refresh key 0
+        cache.store(keys[2], None, _result({(2, 2)}))
+        assert cache.lookup(keys[0], None) is not None
+        assert cache.lookup(keys[1], None) is None   # LRU victim
+        assert cache.lookup(keys[2], None) is not None
+        assert cache.evictions == 1
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(0)
+        assert not cache.store(self.KEY, None, _result({(1, 2)}))
+        assert cache.lookup(self.KEY, None) is None
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_invalidate(self):
+        cache = ResultCache(8)
+        cache.store(self.KEY, None, _result({(1, 2)}))
+        assert cache.invalidate() == 1
+        assert cache.lookup(self.KEY, None) is None
+
+
+class TestServiceCaching:
+    def test_hit_skips_evaluation(self, kg_index):
+        """The acceptance criterion: a cache hit does zero index work,
+        observable both on the result stats and the merged metrics."""
+        obs = Metrics()
+        with QueryService(kg_index, workers=2, cache_size=8,
+                          metrics=obs) as service:
+            cold = service.evaluate("(?x, p0/p1*, ?y)")
+            steps_after_cold = obs.count("engine.steps")
+            warm = service.evaluate("(?x, p0/p1*, ?y)")
+            steps_after_warm = obs.count("engine.steps")
+        assert not cold.stats.cached
+        assert warm.stats.cached
+        assert warm.pairs == cold.pairs
+        assert warm.stats.backward_steps == 0
+        # No additional engine work happened for the warm query.
+        assert steps_after_warm == steps_after_cold
+        assert obs.count("serve.cache_hits") == 1
+
+    def test_normalization_variants_share_one_entry(self, kg_index):
+        with QueryService(kg_index, workers=1, cache_size=8) as service:
+            a = service.evaluate("(?x, p0|p1, ?y)")
+            b = service.evaluate("(?u, p1|p0, ?v)")
+        assert not a.stats.cached and b.stats.cached
+        assert a.pairs == b.pairs
+
+    def test_cached_truncated_never_answers_uncapped(self, kg_index):
+        query = "(?x, (p0|p1|p2)*, ?y)"
+        full = RingRPQEngine(kg_index).evaluate(query).pairs
+        assert len(full) > 5
+        with QueryService(kg_index, workers=1, cache_size=8) as service:
+            capped = service.evaluate(query, limit=5)
+            assert capped.stats.truncated and len(capped.pairs) == 5
+            # The uncapped replay must recompute, not serve the prefix.
+            uncapped = service.evaluate(query)
+            assert not uncapped.stats.cached
+            assert not uncapped.stats.truncated
+            assert uncapped.pairs == full
+            # Same exact cap afterwards: the truncated entry replays.
+            again = service.submit(query, limit=5).result(timeout=30)
+            assert again.stats.cached and again.stats.truncated
+            assert again.pairs == capped.pairs
+
+    def test_invalidation_hook(self, kg_index):
+        with QueryService(kg_index, workers=1, cache_size=8) as service:
+            service.evaluate("(?x, p0, ?y)")
+            assert service.invalidate_cache() == 1
+            replay = service.evaluate("(?x, p0, ?y)")
+        assert not replay.stats.cached
+
+    def test_eviction_under_small_capacity(self, kg_index):
+        with QueryService(kg_index, workers=1, cache_size=2) as service:
+            queries = ["(?x, p0, ?y)", "(?x, p1, ?y)", "(?x, p2, ?y)"]
+            for q in queries:
+                service.evaluate(q)
+            # p0 was evicted by p2; p2 and p1 remain.
+            assert not service.evaluate(queries[0]).stats.cached
+            snap = service.stats()["cache"]
+        assert snap["evictions"] >= 1
