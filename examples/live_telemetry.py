@@ -1,0 +1,153 @@
+"""Live-telemetry scenario: boot the full plane and scrape it.
+
+Starts a :class:`~repro.serve.QueryService` over a synthetic knowledge
+graph with every telemetry component attached — shared metrics
+registry, slow log, JSON-lines query log, resource sampler, sampling
+profiler and the background HTTP endpoint — then drives a workload
+while scraping ``/metrics``, ``/healthz`` and ``/debug/vars`` over
+real HTTP exactly as a Prometheus agent would.  Asserts on everything
+it scrapes, so CI can run it as the serving-plane smoke test, and
+finally writes the profiler's collapsed stacks for flamegraph
+tooling.
+
+Run with::
+
+    python examples/live_telemetry.py [--queries N] [--out stacks.txt]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import urllib.request
+from pathlib import Path
+
+from repro import RingIndex
+from repro.bench.workload import generate_query_log
+from repro.graph.generators import wikidata_like
+from repro.obs import (
+    Metrics,
+    QueryLogWriter,
+    ResourceSampler,
+    SamplingProfiler,
+    TelemetryServer,
+    read_query_log,
+)
+from repro.obs.slowlog import SlowQueryLog
+from repro.serve import QueryService
+
+
+def scrape(url: str) -> str:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        assert response.status == 200, f"{url}: HTTP {response.status}"
+        return response.read().decode("utf-8")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--queries", type=int, default=60,
+                        help="workload size replayed through the service")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None,
+                        help="collapsed-stacks output path "
+                             "(default: <tmp>/live_telemetry.collapsed)")
+    args = parser.parse_args()
+
+    graph = wikidata_like(
+        n_nodes=800, n_edges=4_500, n_predicates=24, seed=args.seed
+    )
+    index = RingIndex.from_graph(graph)
+    queries = generate_query_log(graph, scale=0.05, seed=args.seed)
+    queries = (queries * (args.queries // len(queries) + 1))[:args.queries]
+    print(f"index over {len(graph.nodes)} nodes / {len(graph)} edges; "
+          f"workload of {len(queries)} queries")
+
+    out = Path(args.out) if args.out else (
+        Path(tempfile.gettempdir()) / "live_telemetry.collapsed"
+    )
+    log_path = out.with_suffix(".queries.jsonl")
+    log_path.unlink(missing_ok=True)
+
+    metrics = Metrics(span_capacity=2048)
+    slow_log = SlowQueryLog(capacity=8)
+    query_log = QueryLogWriter(log_path)
+    profiler = SamplingProfiler()
+    service = QueryService(
+        index, workers=args.workers, cache_size=128, metrics=metrics,
+        slow_log=slow_log, query_log=query_log,
+    )
+    sampler = ResourceSampler(
+        metrics=metrics, lock=service.obs_lock, interval=0.02,
+        profiler=profiler,
+    )
+    httpd = TelemetryServer(
+        metrics, lock=service.obs_lock, service=service,
+        sampler=sampler, profiler=profiler, slow_log=slow_log,
+    )
+
+    with service, sampler, httpd:
+        print(f"telemetry live at {httpd.url}")
+
+        results = service.run(queries, timeout=5.0, limit=50_000)
+        answers = sum(len(r) for r in results)
+        print(f"workload done: {answers} answers, "
+              f"{metrics.count('serve.cache_hits'):.0f} cache hits")
+
+        # -- /healthz: the service reports itself alive and drained.
+        health = json.loads(scrape(httpd.url + "/healthz"))
+        assert health["status"] == "ok", health
+        assert health["workers"] == args.workers
+        print(f"/healthz ok: uptime {health['uptime_seconds']:.2f}s")
+
+        # -- /metrics: the Prometheus scrape a collector would take.
+        sampler.sample_once()
+        exposition = scrape(httpd.url + "/metrics")
+        for needle in (
+            "repro_serve_submitted_total",
+            "repro_serve_query_seconds_bucket",
+            'le="+Inf"',
+            "repro_serve_queue_depth",
+            "repro_serve_inflight",
+            "repro_serve_cache_size",
+            "repro_process_rss_bytes",
+            "repro_process_cpu_seconds",
+        ):
+            assert needle in exposition, f"missing {needle} in /metrics"
+        submitted = next(
+            line for line in exposition.splitlines()
+            if line.startswith("repro_serve_submitted_total ")
+        )
+        assert float(submitted.split()[1]) == len(queries), submitted
+        print(f"/metrics ok: {len(exposition.splitlines())} lines, "
+              f"{submitted}")
+
+        # -- /debug/vars: history, not just instantaneous points.
+        snapshot = json.loads(scrape(httpd.url + "/debug/vars"))
+        rss_series = snapshot["timeseries"]["series"]["process.rss_bytes"]
+        assert rss_series["count"] >= 1 and rss_series["max"] > 0
+        print(f"/debug/vars ok: {len(snapshot['timeseries']['series'])} "
+              f"time series, peak RSS {rss_series['max'] / 1e6:.1f} MB, "
+              f"profiler samples {snapshot['profile']['samples']}")
+
+        # -- query-id correlation: one id joins every record stream.
+        records = read_query_log(log_path)
+        assert len(records) == len(queries), (len(records), len(queries))
+        slow_entries = slow_log.entries()
+        assert slow_entries and all(e.query_id for e in slow_entries)
+        worst = slow_entries[0]
+        (match,) = [r for r in records if r["query_id"] == worst.query_id]
+        assert match["query"] == worst.query
+        print(f"query log ok: {len(records)} lines; slowest query "
+              f"{worst.query_id} ({worst.elapsed * 1e3:.2f} ms) found in "
+              "both slow log and query log")
+
+    profiler.write_collapsed(out)
+    print(f"collapsed stacks ({len(profiler.stack_counts())} distinct) "
+          f"written to {out}")
+    print("live telemetry smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -61,13 +61,23 @@ def run_trajectory(out_path: str = "BENCH_engine.json",
     throughput over the same query log and records it as the report's
     ``workers`` section; pass an empty tuple to skip it.
     """
+    from repro.obs.sampler import ResourceSampler
+    from repro.obs.sampling_profiler import SamplingProfiler
+
     context = build_context(engine_names=("ring",), **TRAJECTORY_PARAMS)
-    results = run_benchmark(
-        context.engines,
-        context.queries,
-        timeout=context.timeout,
-        limit=context.limit,
-    )
+    # The trajectory run doubles as a resource trajectory: a sampler
+    # plus statistical profiler ride along so each committed report
+    # also records peak RSS, CPU seconds and which §4 phases the
+    # benchmark actually spent its samples in.
+    profiler = SamplingProfiler()
+    sampler = ResourceSampler(interval=0.1, profiler=profiler)
+    with sampler:
+        results = run_benchmark(
+            context.engines,
+            context.queries,
+            timeout=context.timeout,
+            limit=context.limit,
+        )
     full_meta = {
         **context.notes,
         "timeout": context.timeout,
@@ -78,6 +88,14 @@ def run_trajectory(out_path: str = "BENCH_engine.json",
     if meta:
         full_meta.update(meta)
     report = engine_bench_report(results, engine="ring", meta=full_meta)
+    vitals = sampler.process_metrics()
+    report["telemetry"] = {
+        "peak_rss_bytes": sampler.peak("process.rss_bytes"),
+        "cpu_seconds": vitals.get("process.cpu_seconds"),
+        "sample_ticks": sampler.ticks,
+        "profile_samples": profiler.samples,
+        "hot_phases": profiler.hot_phases(),
+    }
     if workers is None:
         workers = WORKERS_PARAMS["workers"]
     if workers:
@@ -127,6 +145,16 @@ def main(argv: "list[str] | None" = None) -> None:
               f"median={summary['median_seconds']:.4f}s "
               f"p95={tails['p95']:.4f}s p99={tails['p99']:.4f}s "
               f"timeouts={summary['timeouts']}")
+    telemetry = report.get("telemetry")
+    if telemetry:
+        peak = telemetry.get("peak_rss_bytes") or 0.0
+        hot = ", ".join(
+            f"{phase}={count}"
+            for phase, count in list(telemetry["hot_phases"].items())[:4]
+        ) or "(no samples)"
+        print(f"  telemetry: peak RSS {peak / 1e6:.1f} MB, "
+              f"cpu {telemetry['cpu_seconds']:.1f}s, "
+              f"hot phases: {hot}")
     section = report.get("workers")
     if section:
         base = section["baseline"]

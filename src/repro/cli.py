@@ -156,7 +156,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_service(args: argparse.Namespace, metrics=None, slow_log=None):
+def _build_service(args: argparse.Namespace, metrics=None, slow_log=None,
+                   query_log=None):
     from repro.serve import QueryService
 
     index = _load_index(args.graph, args.symmetric)
@@ -169,7 +170,80 @@ def _build_service(args: argparse.Namespace, metrics=None, slow_log=None):
         default_limit=args.limit,
         metrics=metrics,
         slow_log=slow_log,
+        query_log=query_log,
     )
+
+
+class _TelemetryPlane:
+    """The live telemetry stack around one service: sampler, profiler,
+    HTTP endpoint and JSON query log, started/stopped together.
+
+    Built by ``repro serve``/``query-batch`` from ``--metrics-port``,
+    ``--query-log``, ``--sample-interval`` and ``--profile-out``; every
+    component is optional and ``None`` when its flag is absent.
+    """
+
+    def __init__(self, args: argparse.Namespace, metrics, service,
+                 slow_log=None):
+        from repro.obs.querylog import QueryLogWriter
+
+        self.query_log = (
+            QueryLogWriter(args.query_log)
+            if getattr(args, "query_log", None) else None
+        )
+        self.profile_out = getattr(args, "profile_out", None)
+        self.sampler = None
+        self.profiler = None
+        self.httpd = None
+        want_profiler = (
+            getattr(args, "metrics_port", None) is not None
+            or self.profile_out
+        )
+        if want_profiler:
+            from repro.obs.sampler import ResourceSampler
+            from repro.obs.sampling_profiler import SamplingProfiler
+
+            self.profiler = SamplingProfiler()
+            self.sampler = ResourceSampler(
+                metrics=metrics,
+                lock=service.obs_lock,
+                interval=args.sample_interval,
+                profiler=self.profiler,
+            )
+        if getattr(args, "metrics_port", None) is not None:
+            from repro.obs.httpd import TelemetryServer
+
+            self.httpd = TelemetryServer(
+                metrics,
+                lock=service.obs_lock,
+                service=service,
+                sampler=self.sampler,
+                profiler=self.profiler,
+                slow_log=slow_log,
+                port=args.metrics_port,
+            )
+
+    def start(self) -> "_TelemetryPlane":
+        if self.sampler is not None:
+            self.sampler.start()
+        if self.httpd is not None:
+            self.httpd.start()
+            print(f"# telemetry: {self.httpd.url}/metrics  "
+                  f"{self.httpd.url}/healthz  "
+                  f"{self.httpd.url}/debug/vars", file=sys.stderr)
+        return self
+
+    def stop(self) -> None:
+        if self.sampler is not None:
+            self.sampler.stop()
+        if self.httpd is not None:
+            self.httpd.stop()
+        if self.profiler is not None and self.profile_out:
+            self.profiler.write_collapsed(self.profile_out)
+            print(f"# collapsed stacks written to {self.profile_out}",
+                  file=sys.stderr)
+        if self.query_log is not None:
+            self.query_log.close()
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -177,15 +251,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     Commands: ``.stats`` prints service statistics, ``.metrics`` the
     Prometheus exposition, ``.slow`` the slow-query log, ``.quit``
-    exits (EOF also exits).
+    exits (EOF also exits).  With ``--metrics-port`` the same telemetry
+    is additionally served live over HTTP (``/metrics``, ``/healthz``,
+    ``/debug/vars``, ``/debug/profile``) while the loop runs.
     """
     from repro.obs.export import prometheus_text
     from repro.obs.metrics import Metrics
     from repro.obs.slowlog import SlowQueryLog
 
-    metrics = Metrics()
+    metrics = Metrics(span_capacity=args.span_capacity)
     slow_log = SlowQueryLog(capacity=args.slow_log)
     service = _build_service(args, metrics=metrics, slow_log=slow_log)
+    plane = _TelemetryPlane(args, metrics, service, slow_log=slow_log)
+    # The plane owns the query-log writer; hand it to the service.
+    service.query_log = plane.query_log
+    plane.start()
     print(
         f"# serving {args.graph} with {args.workers} worker(s); "
         "one query per line, .quit to exit",
@@ -208,6 +288,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 continue
             if line == ".slow":
                 print(slow_log.format_table())
+                continue
+            if line == ".vars":
+                import json
+
+                if plane.httpd is not None:
+                    print(json.dumps(plane.httpd.render_vars(), indent=2))
+                else:
+                    print(json.dumps(metrics.snapshot(), indent=2))
                 continue
             try:
                 result = service.evaluate(line)
@@ -233,16 +321,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
             )
     finally:
         service.close()
+        plane.stop()
     return 0
 
 
 def cmd_query_batch(args: argparse.Namespace) -> int:
     import json
 
+    from repro.obs.metrics import Metrics
     from repro.serve import drain_queries, load_query_file
 
     queries = load_query_file(args.queries)
-    service = _build_service(args)
+    metrics = Metrics()
+    service = _build_service(args, metrics=metrics)
+    plane = _TelemetryPlane(args, metrics, service)
+    service.query_log = plane.query_log
+    plane.start()
     try:
         summary = drain_queries(
             service, queries, rounds=args.rounds,
@@ -250,6 +344,7 @@ def cmd_query_batch(args: argparse.Namespace) -> int:
         )
     finally:
         service.close()
+        plane.stop()
     if not args.verbose:
         summary = {k: v for k, v in summary.items() if k != "per_query"}
     print(json.dumps(summary, indent=2))
@@ -365,16 +460,35 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--limit", type=int, default=1_000_000)
         sp.add_argument("--symmetric", nargs="*", default=[],
                         help="predicates stored bidirectionally")
+        sp.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="expose /metrics, /healthz, /debug/vars and "
+                             "/debug/profile over HTTP on this port "
+                             "(0 picks an ephemeral port)")
+        sp.add_argument("--query-log", metavar="OUT.jsonl", default=None,
+                        help="append one JSON line per settled query "
+                             "(query_id-correlated) to this file")
+        sp.add_argument("--sample-interval", type=float, default=0.5,
+                        help="resource-sampler / profiler tick seconds")
+        sp.add_argument("--profile-out", metavar="OUT.collapsed",
+                        default=None,
+                        help="write sampling-profiler collapsed stacks "
+                             "(flamegraph format) on exit; also enables "
+                             "the sampler without --metrics-port")
 
     v = sub.add_parser(
         "serve",
         help="interactive query loop over the thread-pool service "
-             "(.stats/.metrics/.slow/.quit commands)",
+             "(.stats/.metrics/.slow/.vars/.quit commands); "
+             "--metrics-port adds the live HTTP telemetry plane",
     )
     v.add_argument("graph", help="triple file (s p o per line)")
     _serve_common(v)
     v.add_argument("--slow-log", type=int, default=10,
                    help="slow-query log capacity")
+    v.add_argument("--span-capacity", type=int, default=2048,
+                   help="spans retained in the service registry "
+                        "(0 disables span collection)")
     v.set_defaults(func=cmd_serve)
 
     qb = sub.add_parser(

@@ -646,6 +646,7 @@ class RingRPQEngine:
         forbidden_nodes: "Iterable[str] | None" = None,
         metrics=None,
         cancel=None,
+        query_id: "str | None" = None,
     ) -> QueryResult:
         """Evaluate an RPQ under set semantics.
 
@@ -673,6 +674,12 @@ class RingRPQEngine:
         ticks as the timeout; the serving layer's ``cancel(query_id)``
         sets it from another thread.
 
+        ``query_id`` is an opaque correlation id stamped onto
+        ``stats.query_id``, the query span's attributes and the
+        slow-log entry, so every telemetry signal of this evaluation
+        can be joined on one id (the serving layer mints ``q<N>`` per
+        submission).
+
         This method is re-entrant and thread-safe over the shared
         immutable ring: every piece of per-call mutable state lives in
         a private :class:`_EvalContext`, so concurrent evaluations on
@@ -681,6 +688,8 @@ class RingRPQEngine:
         """
         rpq = as_query(query)
         stats = QueryStats()
+        if query_id:
+            stats.query_id = query_id
         budget = _Budget(timeout, cancel=cancel)
         result = QueryResult(stats=stats)
         obs = metrics if metrics is not None else self.metrics
@@ -698,7 +707,8 @@ class RingRPQEngine:
             if obs.enabled:
                 obs.inc("engine.queries")
                 if obs.tracing:
-                    obs.record("query", query=str(rpq), shape=rpq.shape())
+                    obs.record("query", query=str(rpq), shape=rpq.shape(),
+                               query_id=query_id)
             if limit is not None and limit <= 0:
                 stats.truncated = True
             else:
@@ -713,6 +723,8 @@ class RingRPQEngine:
                     query=str(rpq), shape=rpq.shape(),
                     n_results=len(result.pairs),
                 )
+                if query_id:
+                    query_span.set(query_id=query_id)
                 # Also closes any spans a timeout left open underneath.
                 spans.end(query_span)
         stats.elapsed = budget.elapsed()
@@ -741,6 +753,7 @@ class RingRPQEngine:
                         if spans is not None else None
                     ),
                     engine=self.name,
+                    query_id=query_id,
                 )
             else:
                 slow_log.total_recorded += 1

@@ -28,6 +28,12 @@ ENGINE_PHASES = (
 class QueryStats:
     """Counters collected while evaluating one query."""
 
+    #: Correlation id minted by the caller (the serving layer stamps
+    #: ``q<N>`` per submission); the same id appears in the span tree,
+    #: the slow log and the JSON query log, so one id joins every
+    #: telemetry signal of one evaluation.  Empty when the caller
+    #: supplied none.
+    query_id: str = ""
     #: Wall-clock seconds spent in the engine.
     elapsed: float = 0.0
     #: True when the evaluation hit its timeout before completing.

@@ -21,7 +21,20 @@ this subpackage makes that accounting first-class:
 * :mod:`repro.obs.slowlog` — :class:`SlowQueryLog`, a bounded record
   of the K worst queries with counter snapshots and span trees;
 * :mod:`repro.obs.export` — :func:`prometheus_text`, the Prometheus
-  text-format exporter over any :class:`Metrics`.
+  text-format exporter over any :class:`Metrics`;
+* :mod:`repro.obs.timeseries` — :class:`TimeSeries`, fixed-capacity
+  ring-buffer history with min/max/last/percentile readout;
+* :mod:`repro.obs.sampler` — :class:`ResourceSampler`, a background
+  thread recording process RSS/CPU/GC/threads and the ``serve.*``
+  gauges into time series (and ``process.*`` gauges for export);
+* :mod:`repro.obs.sampling_profiler` — :class:`SamplingProfiler`, a
+  signal-free statistical profiler over ``sys._current_frames()``
+  with flamegraph collapsed-stack export and §4 phase attribution;
+* :mod:`repro.obs.querylog` — :class:`QueryLogWriter`, structured
+  JSON-lines logging of every settled query keyed by ``query_id``;
+* :mod:`repro.obs.httpd` — :class:`TelemetryServer`, the stdlib-only
+  background HTTP server exposing ``/metrics``, ``/healthz``,
+  ``/debug/vars`` and ``/debug/profile`` while the service runs.
 
 Operation *counters* of the engine itself (nodes visited vs pruned per
 §4.1–§4.3 phase) live in :class:`repro.core.result.QueryStats` and are
@@ -39,10 +52,15 @@ from repro.obs.instrument import (
 )
 from repro.obs.export import prometheus_text
 from repro.obs.histogram import LogHistogram
+from repro.obs.httpd import TelemetryServer
 from repro.obs.metrics import NULL_METRICS, Metrics, NullMetrics, TraceEvent
 from repro.obs.profile import ProfileReport, profile_query
+from repro.obs.querylog import QueryLogWriter, read_query_log
+from repro.obs.sampler import ResourceSampler
+from repro.obs.sampling_profiler import SamplingProfiler
 from repro.obs.slowlog import SlowQueryEntry, SlowQueryLog
 from repro.obs.spans import Span, SpanStack
+from repro.obs.timeseries import TimeSeries
 
 __all__ = [
     "CountingBitVector",
@@ -52,10 +70,15 @@ __all__ = [
     "NULL_METRICS",
     "NullMetrics",
     "ProfileReport",
+    "QueryLogWriter",
+    "ResourceSampler",
+    "SamplingProfiler",
     "SlowQueryEntry",
     "SlowQueryLog",
     "Span",
     "SpanStack",
+    "TelemetryServer",
+    "TimeSeries",
     "TraceEvent",
     "instrument_bitvector",
     "instrument_index",
@@ -63,4 +86,5 @@ __all__ = [
     "instrument_ring",
     "profile_query",
     "prometheus_text",
+    "read_query_log",
 ]

@@ -22,6 +22,7 @@ subpackage); it is deliberately not re-exported from ``repro.obs``.
 from __future__ import annotations
 
 import json
+import uuid
 from dataclasses import dataclass
 
 from repro.automata.glushkov import (
@@ -173,10 +174,12 @@ class AnalyzeReport:
         stats = self.profile.stats
         lines = [self._plan_text]
         lines.append("")
+        suffix = f"  [id {stats.query_id}]" if stats.query_id else ""
         lines.append(
             f"ANALYZE: {len(self.profile.result)} result(s) in "
             f"{stats.elapsed * 1e3:.3f} ms "
             f"(modeled {self.estimate.modeled_seconds * 1e3:.3f} ms)"
+            f"{suffix}"
         )
         lines.append("")
         header = ("phase", "metric", "estimated", "actual", "est/actual")
@@ -224,6 +227,7 @@ class AnalyzeReport:
         plan = {k: v for k, v in self.plan.items() if k != "_text"}
         out = {
             "plan": plan,
+            "query_id": self.profile.stats.query_id,
             "analyze": self.profile.to_dict(),
             "comparison": self.comparison(),
             "misestimation": self.misestimation(),
@@ -252,10 +256,19 @@ def explain_analyze(
     limit: int | None = None,
     span_capacity: int = 100_000,
     trace_capacity: int = 0,
+    query_id: "str | None" = None,
 ) -> AnalyzeReport:
     """Run ``query`` under full telemetry and pair the measured
-    counters with the pre-execution estimates."""
+    counters with the pre-execution estimates.
+
+    Each run carries a ``query_id`` (minted when not supplied) stamped
+    onto the stats, the span tree and the report, so an EXPLAIN
+    ANALYZE can be correlated against a service's slow/query logs for
+    the same query.
+    """
     rpq = as_query(query)
+    if query_id is None:
+        query_id = f"explain-{uuid.uuid4().hex[:12]}"
     plan = plan_dict(index, rpq)
     plan["_text"] = format_plan(index, rpq)
     estimate = estimate_rpq_cost(index, rpq)
@@ -263,7 +276,8 @@ def explain_analyze(
         trace_capacity=trace_capacity, span_capacity=span_capacity
     )
     report = profile_query(
-        index, rpq, timeout=timeout, limit=limit, metrics=metrics
+        index, rpq, timeout=timeout, limit=limit, metrics=metrics,
+        query_id=query_id,
     )
     return AnalyzeReport(
         plan=plan, estimate=estimate, profile=report, metrics=metrics

@@ -142,6 +142,7 @@ class ProfileReport:
         return {
             "schema_version": 2,
             "query": self.query,
+            "query_id": stats.query_id,
             "shape": self.shape,
             "n_results": len(self.result),
             "elapsed": stats.elapsed,
@@ -169,6 +170,7 @@ def profile_query(
     limit: int | None = None,
     trace_capacity: int = 0,
     metrics: Metrics | None = None,
+    query_id: "str | None" = None,
 ) -> ProfileReport:
     """Evaluate ``query`` on ``index``'s ring engine under full metrics.
 
@@ -178,7 +180,9 @@ def profile_query(
     that-many trace events are retained for :meth:`ProfileReport.to_dict`.
 
     Pass an existing ``metrics`` registry to accumulate several queries
-    into one; by default each call gets a fresh one.
+    into one; by default each call gets a fresh one.  ``query_id`` is
+    threaded through to the engine so the profiled run's stats and
+    span tree carry the caller's correlation id.
     """
     rpq = as_query(query)
     obs = metrics if metrics is not None else Metrics(
@@ -186,7 +190,8 @@ def profile_query(
     )
     with instrument_index(index, obs):
         result = index.engine.evaluate(
-            rpq, timeout=timeout, limit=limit, metrics=obs
+            rpq, timeout=timeout, limit=limit, metrics=obs,
+            query_id=query_id,
         )
     return ProfileReport(
         query=str(rpq), shape=rpq.shape(), result=result, metrics=obs

@@ -1,0 +1,119 @@
+"""Structured JSON-lines query logging, keyed by query id.
+
+The slow log keeps the K worst queries; dashboards and offline
+analysis need the *other* direction too — every query, one compact
+line, join-able against the slow log and span trees by ``query_id``.
+:class:`QueryLogWriter` appends one JSON object per settled query:
+wall-clock timestamp, query id, query text, outcome flags, latency,
+queue wait and result count.  Counters are deliberately excluded from
+the default record (they multiply the line size ~10x and live in the
+slow log for the queries that matter); pass ``counters=True`` to
+include them anyway.
+
+The writer is thread-safe (one lock around write+flush) and used by
+:class:`~repro.serve.QueryService` when constructed with
+``query_log=`` — see ``repro serve --query-log``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+
+class QueryLogWriter:
+    """Append-only JSON-lines log of settled queries.
+
+    Parameters
+    ----------
+    target:
+        A path (opened for append) or any writable text file object
+        (kept open; closed by :meth:`close` only when owned).
+    counters:
+        Include each query's full operation-counter dict per line.
+    clock:
+        Wall-clock source for the ``ts`` field (default :func:`time.time`).
+    """
+
+    def __init__(self, target, counters: bool = False, clock=time.time):
+        if hasattr(target, "write"):
+            self._handle = target
+            self._owns_handle = False
+            self.path = getattr(target, "name", None)
+        else:
+            self._handle = open(target, "a", encoding="utf-8")
+            self._owns_handle = True
+            self.path = str(target)
+        self.counters = counters
+        self.clock = clock
+        self.written = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def log(
+        self,
+        query_id: str,
+        query: str,
+        stats,
+        n_results: int = 0,
+        wait_seconds: float | None = None,
+        engine: str | None = None,
+        **extra,
+    ) -> dict:
+        """Write one record; returns the dict that was written.
+
+        ``stats`` is a :class:`~repro.core.result.QueryStats` (or any
+        object with the same flag/elapsed attributes).
+        """
+        record: dict = {
+            "ts": self.clock(),
+            "query_id": query_id,
+            "query": query,
+            "elapsed": stats.elapsed,
+            "n_results": n_results,
+        }
+        if engine is not None:
+            record["engine"] = engine
+        if wait_seconds is not None:
+            record["wait_seconds"] = wait_seconds
+        for flag in ("timed_out", "truncated", "cancelled", "cached"):
+            if getattr(stats, flag, False):
+                record[flag] = True
+        if self.counters:
+            record["counters"] = stats.operation_counts()
+        if extra:
+            record.update(extra)
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.written += 1
+        return record
+
+    def close(self) -> None:
+        """Flush and close the underlying file (when owned)."""
+        with self._lock:
+            if self._owns_handle and not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "QueryLogWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryLogWriter({self.path!r}, written={self.written})"
+
+
+def read_query_log(path) -> list[dict]:
+    """Parse a JSON-lines query log back into records (tests, tools)."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,278 @@
+"""Background resource sampler: RSS, CPU, GC, threads, serve gauges.
+
+The paper's headline trade is space for time; a serving process keeps
+that claim honest only if its memory footprint is *continuously*
+visible next to its latency.  :class:`ResourceSampler` is a small
+daemon thread that, every ``interval`` seconds, reads the process
+vitals (resident set size, cumulative CPU seconds, GC collection
+counts, live thread count, uptime) plus any gauges already present in
+a shared :class:`~repro.obs.metrics.Metrics` registry (the serving
+layer's ``serve.queue_depth`` / ``serve.inflight`` / ``serve.cache_size``),
+and records every reading into a fixed-capacity
+:class:`~repro.obs.timeseries.TimeSeries` — so a scrape or
+``/debug/vars`` shows the recent *history*, not one point.
+
+The sampler also writes its latest process readings back into the
+registry as ``process.*`` gauges, which the Prometheus exporter then
+renders as the conventional ``repro_process_*`` metric family — no
+exporter special-casing needed.  All registry access happens under the
+caller-provided ``lock`` (the service's merge lock), because
+:class:`Metrics` itself is not thread-safe.
+
+Everything here is stdlib-only: RSS comes from ``/proc/self/statm``
+where available and falls back to ``resource.getrusage`` peak-RSS
+elsewhere, so the sampler degrades rather than dies off Linux.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import threading
+import time
+
+from repro.obs.timeseries import TimeSeries
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
+
+#: The standard process-metric gauge names the sampler maintains.
+#: After Prometheus name sanitisation (dots -> underscores, ``repro``
+#: prefix) these export as the conventional ``repro_process_*`` family.
+PROCESS_GAUGES = (
+    "process.rss_bytes",
+    "process.peak_rss_bytes",
+    "process.cpu_seconds",
+    "process.uptime_seconds",
+    "process.gc_collections",
+    "process.gc_collected_objects",
+    "process.threads",
+)
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def read_rss_bytes() -> float:
+    """Current resident set size in bytes (best effort, stdlib only).
+
+    Prefers ``/proc/self/statm`` (current RSS); falls back to
+    ``getrusage`` peak RSS (kilobytes on Linux, bytes on macOS) and
+    finally to 0.0 when neither source exists.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            fields = handle.read().split()
+        return float(int(fields[1]) * _PAGE_SIZE)
+    except (OSError, IndexError, ValueError):
+        pass
+    if _resource is not None:
+        peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS.
+        return float(peak * 1024 if os.uname().sysname == "Linux" else peak)
+    return 0.0
+
+
+def read_cpu_seconds() -> float:
+    """Cumulative user+system CPU seconds of this process."""
+    times = os.times()
+    return times.user + times.system
+
+
+def read_gc_counts() -> tuple[int, int]:
+    """``(total collections, total collected objects)`` across gens."""
+    collections = 0
+    collected = 0
+    for gen in gc.get_stats():
+        collections += gen.get("collections", 0)
+        collected += gen.get("collected", 0)
+    return collections, collected
+
+
+class ResourceSampler:
+    """Periodic recorder of process vitals and registry gauges.
+
+    Parameters
+    ----------
+    metrics:
+        Optional shared :class:`~repro.obs.metrics.Metrics`.  When
+        given, each tick (a) mirrors the latest process readings into
+        ``process.*`` gauges (for the Prometheus exporter) and (b)
+        copies every already-present gauge whose name matches
+        ``gauge_prefixes`` into its own time series.
+    lock:
+        The lock guarding ``metrics`` (e.g.
+        :attr:`repro.serve.QueryService.obs_lock`); a private lock is
+        created when omitted (fine for a sampler-owned registry).
+    interval:
+        Seconds between ticks of the background thread.
+    capacity:
+        Points retained per time series (ring-buffer bound).
+    gauge_prefixes:
+        Registry gauges matching any of these prefixes are sampled
+        into time series alongside the process vitals.
+    profiler:
+        Optional :class:`~repro.obs.sampling_profiler.SamplingProfiler`
+        ticked once per sample — the sampler thread doubles as the
+        profiler's clock so the plane costs one extra thread total.
+    clock:
+        Timestamp source for recorded points (default
+        :func:`time.time`, so points align with log timestamps).
+    """
+
+    def __init__(
+        self,
+        metrics=None,
+        lock: "threading.Lock | None" = None,
+        interval: float = 0.5,
+        capacity: int = 600,
+        gauge_prefixes: tuple[str, ...] = ("serve.",),
+        profiler=None,
+        clock=time.time,
+    ):
+        if interval <= 0:
+            raise ValueError("sample interval must be positive")
+        self.metrics = metrics
+        self.lock = lock if lock is not None else threading.Lock()
+        self.interval = interval
+        self.capacity = capacity
+        self.gauge_prefixes = tuple(gauge_prefixes)
+        self.profiler = profiler
+        self.clock = clock
+        self.series: dict[str, TimeSeries] = {}
+        self.latest: dict[str, float] = {}
+        self.ticks = 0
+        self.started_at = time.monotonic()
+        self._series_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def _record(self, now: float, name: str, value: float) -> None:
+        # Callers hold self._series_lock.
+        series = self.series.get(name)
+        if series is None:
+            series = self.series[name] = TimeSeries(name, self.capacity)
+        series.append(now, value)
+        self.latest[name] = float(value)
+
+    def read_process(self) -> dict[str, float]:
+        """One fresh reading of every :data:`PROCESS_GAUGES` vital."""
+        rss = read_rss_bytes()
+        collections, collected = read_gc_counts()
+        peak = max(rss, self.latest.get("process.peak_rss_bytes", 0.0))
+        return {
+            "process.rss_bytes": rss,
+            "process.peak_rss_bytes": peak,
+            "process.cpu_seconds": read_cpu_seconds(),
+            "process.uptime_seconds": time.monotonic() - self.started_at,
+            "process.gc_collections": float(collections),
+            "process.gc_collected_objects": float(collected),
+            "process.threads": float(threading.active_count()),
+        }
+
+    def sample_once(self) -> dict[str, float]:
+        """Take one sample tick; returns the fresh process readings.
+
+        Safe to call directly (tests, synchronous benchmarks) whether
+        or not the background thread is running.
+        """
+        now = self.clock()
+        readings = self.read_process()
+        gauge_values: dict[str, float] = {}
+        if self.metrics is not None:
+            with self.lock:
+                gauges = self.metrics.gauges
+                for name in gauges:
+                    if name.startswith(self.gauge_prefixes):
+                        gauge_values[name] = gauges[name]
+                for name, value in readings.items():
+                    self.metrics.set_gauge(name, value)
+        with self._series_lock:
+            for name, value in readings.items():
+                self._record(now, name, value)
+            for name, value in gauge_values.items():
+                self._record(now, name, value)
+            self.ticks += 1
+        if self.profiler is not None:
+            self.profiler.sample()
+        return readings
+
+    # ------------------------------------------------------------------
+    # Background thread
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ResourceSampler":
+        """Start the background sampling thread (idempotent)."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-sampler", daemon=True
+        )
+        if self.profiler is not None:
+            # Never profile the clock thread itself.
+            self.profiler.ignore_thread(self._thread)
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self.sample_once()
+            self._stop.wait(self.interval)
+
+    def stop(self, final_sample: bool = True) -> None:
+        """Stop the background thread; optionally take a last sample
+        so ``peak``/``latest`` include the very end of the run."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join()
+            self._thread = None
+        if final_sample:
+            self.sample_once()
+
+    def __enter__(self) -> "ResourceSampler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Readout
+    # ------------------------------------------------------------------
+
+    def process_metrics(self) -> dict[str, float]:
+        """Latest ``process.*`` readings (empty before the first tick)."""
+        with self._series_lock:
+            return {
+                name: value for name, value in self.latest.items()
+                if name.startswith("process.")
+            }
+
+    def peak(self, name: str) -> float | None:
+        """Window maximum of one series (None when never recorded)."""
+        with self._series_lock:
+            series = self.series.get(name)
+            return series.max() if series is not None else None
+
+    def snapshot(self, max_points: int | None = 120) -> dict:
+        """JSON-ready dump of every time series."""
+        with self._series_lock:
+            return {
+                "interval": self.interval,
+                "ticks": self.ticks,
+                "series": {
+                    name: self.series[name].to_dict(max_points=max_points)
+                    for name in sorted(self.series)
+                },
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        running = self._thread is not None
+        return (f"ResourceSampler(interval={self.interval}, "
+                f"ticks={self.ticks}, running={running})")

@@ -25,7 +25,7 @@ class SlowQueryEntry:
 
     __slots__ = ("query", "elapsed", "seq", "n_results", "timed_out",
                  "truncated", "counters", "phase_seconds", "span_tree",
-                 "engine")
+                 "engine", "query_id")
 
     def __init__(self, query: str, elapsed: float, seq: int,
                  n_results: int = 0, timed_out: bool = False,
@@ -33,7 +33,8 @@ class SlowQueryEntry:
                  counters: dict | None = None,
                  phase_seconds: dict | None = None,
                  span_tree: list | None = None,
-                 engine: str | None = None):
+                 engine: str | None = None,
+                 query_id: str | None = None):
         self.query = query
         self.elapsed = elapsed
         self.seq = seq
@@ -44,6 +45,7 @@ class SlowQueryEntry:
         self.phase_seconds = phase_seconds or {}
         self.span_tree = span_tree
         self.engine = engine
+        self.query_id = query_id
 
     def to_dict(self) -> dict:
         out = {
@@ -55,6 +57,8 @@ class SlowQueryEntry:
             "counters": dict(sorted(self.counters.items())),
             "phase_seconds": dict(sorted(self.phase_seconds.items())),
         }
+        if self.query_id is not None:
+            out["query_id"] = self.query_id
         if self.engine is not None:
             out["engine"] = self.engine
         if self.span_tree is not None:
@@ -108,7 +112,8 @@ class SlowQueryLog:
                counters: dict | None = None,
                phase_seconds: dict | None = None,
                span_tree: list | None = None,
-               engine: str | None = None) -> bool:
+               engine: str | None = None,
+               query_id: str | None = None) -> bool:
         """Offer one finished query; returns True when it was retained."""
         self.total_recorded += 1
         if not self.would_keep(elapsed):
@@ -117,7 +122,7 @@ class SlowQueryLog:
             query, elapsed, self._seq, n_results=n_results,
             timed_out=timed_out, truncated=truncated, counters=counters,
             phase_seconds=phase_seconds, span_tree=span_tree,
-            engine=engine,
+            engine=engine, query_id=query_id,
         )
         self._seq += 1
         if len(self._heap) < self.capacity:

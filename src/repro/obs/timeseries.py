@@ -1,0 +1,183 @@
+"""Fixed-capacity time series: the memory behind the live endpoints.
+
+A scrape endpoint that reports a single point answers "what is the RSS
+*now*" but not "did it grow over the last minute" — and the second
+question is the one the paper's space claims (§5, Table 1) turn into
+in production.  :class:`TimeSeries` is a bounded ring buffer of
+``(timestamp, value)`` points with O(1) appends and cheap readouts
+(min/max/last/mean/percentile over the retained window), so the
+resource sampler can record continuously for the lifetime of a service
+without ever growing, and ``/debug/vars`` can show recent history
+instead of an instantaneous gauge.
+
+Like the rest of the registry family it is not thread-safe by itself;
+the :class:`~repro.obs.sampler.ResourceSampler` owns its series and is
+the only writer, while readers go through :meth:`snapshot` under the
+sampler's lock.
+"""
+
+from __future__ import annotations
+
+
+class TimeSeries:
+    """A bounded ring buffer of ``(timestamp, value)`` points.
+
+    Parameters
+    ----------
+    name:
+        The metric name (used in snapshots and exports).
+    capacity:
+        Maximum number of retained points; appends beyond it overwrite
+        the oldest point.  Must be >= 1.
+
+    Invariants (property-tested in ``tests/test_timeseries.py``):
+
+    * ``len(series) == min(capacity, total_appended)``;
+    * :meth:`points` returns exactly the last ``len(series)`` appended
+      points, oldest first, in append order;
+    * ``min()``/``max()``/``last()`` agree with the retained points.
+    """
+
+    __slots__ = ("name", "capacity", "total_appended",
+                 "_times", "_values", "_start", "_size")
+
+    def __init__(self, name: str, capacity: int = 600):
+        if capacity < 1:
+            raise ValueError("time-series capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.total_appended = 0
+        self._times: list[float] = [0.0] * capacity
+        self._values: list[float] = [0.0] * capacity
+        self._start = 0   # index of the oldest retained point
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def append(self, t: float, value: float) -> None:
+        """Record one point (O(1); evicts the oldest at capacity)."""
+        if self._size < self.capacity:
+            index = (self._start + self._size) % self.capacity
+            self._size += 1
+        else:
+            index = self._start
+            self._start = (self._start + 1) % self.capacity
+        self._times[index] = t
+        self._values[index] = float(value)
+        self.total_appended += 1
+
+    # ------------------------------------------------------------------
+    # Readout
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def points(self) -> list[tuple[float, float]]:
+        """Retained ``(t, value)`` points, oldest first."""
+        start, cap = self._start, self.capacity
+        return [
+            (self._times[(start + i) % cap], self._values[(start + i) % cap])
+            for i in range(self._size)
+        ]
+
+    def values(self) -> list[float]:
+        """Retained values, oldest first."""
+        start, cap = self._start, self.capacity
+        return [self._values[(start + i) % cap] for i in range(self._size)]
+
+    def last(self) -> float | None:
+        """The most recent value (None when empty)."""
+        if self._size == 0:
+            return None
+        index = (self._start + self._size - 1) % self.capacity
+        return self._values[index]
+
+    def last_point(self) -> tuple[float, float] | None:
+        """The most recent ``(t, value)`` point (None when empty)."""
+        if self._size == 0:
+            return None
+        index = (self._start + self._size - 1) % self.capacity
+        return (self._times[index], self._values[index])
+
+    def min(self) -> float | None:
+        """Minimum over the retained window (None when empty)."""
+        if self._size == 0:
+            return None
+        return min(self.values())
+
+    def max(self) -> float | None:
+        """Maximum over the retained window (None when empty)."""
+        if self._size == 0:
+            return None
+        return max(self.values())
+
+    def mean(self) -> float | None:
+        """Arithmetic mean over the retained window (None when empty)."""
+        if self._size == 0:
+            return None
+        return sum(self.values()) / self._size
+
+    def percentile(self, q: float) -> float | None:
+        """Nearest-rank-interpolated ``q``-th percentile (0-100) over
+        the retained window; None when empty.
+
+        Matches :func:`repro.bench.stats.percentile` semantics (linear
+        interpolation between order statistics at ``(n-1) * q / 100``).
+        """
+        if self._size == 0:
+            return None
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile {q} outside [0, 100]")
+        ordered = sorted(self.values())
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (len(ordered) - 1) * q / 100.0
+        lo = int(rank)
+        frac = rank - lo
+        if lo + 1 >= len(ordered):
+            return ordered[-1]
+        return ordered[lo] + (ordered[lo + 1] - ordered[lo]) * frac
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Headline readout: count, window min/max/mean/last, p50/p99."""
+        if self._size == 0:
+            return {"count": 0, "total_appended": self.total_appended}
+        return {
+            "count": self._size,
+            "total_appended": self.total_appended,
+            "min": self.min(),
+            "max": self.max(),
+            "mean": self.mean(),
+            "last": self.last(),
+            "p50": self.percentile(50.0),
+            "p99": self.percentile(99.0),
+        }
+
+    def to_dict(self, max_points: int | None = 120) -> dict:
+        """JSON-ready dump: the summary plus (a tail of) the points.
+
+        ``max_points`` bounds the exported point list so a
+        ``/debug/vars`` response stays small even with large retention;
+        ``None`` exports everything retained.
+        """
+        points = self.points()
+        if max_points is not None and len(points) > max_points:
+            points = points[-max_points:]
+        out = self.summary()
+        out["name"] = self.name
+        out["capacity"] = self.capacity
+        out["points"] = [[t, v] for t, v in points]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        last = self.last()
+        shown = "empty" if last is None else f"last={last:.4g}"
+        return (f"TimeSeries({self.name!r}, {self._size}/{self.capacity}, "
+                f"{shown})")

@@ -31,6 +31,7 @@ workloads; ``docs/serving.md`` discusses the numbers honestly.
 
 from __future__ import annotations
 
+import inspect
 import itertools
 import queue
 import threading
@@ -142,6 +143,12 @@ class QueryService:
         A :class:`~repro.obs.slowlog.SlowQueryLog`; the service owns
         recording (under its lock — the log is not thread-safe), so
         the engine is built without one.
+    query_log:
+        A :class:`~repro.obs.querylog.QueryLogWriter`; every settled
+        query (including cache hits) appends one JSON line carrying
+        its ``query_id``, so log lines join the slow log and span
+        trees on the same id.  The writer is thread-safe; the service
+        writes outside its own lock.
     engine:
         Optionally a pre-configured engine over ``index`` (ablations,
         scalar reference, custom prepare-cache size).  Its ``slow_log``
@@ -159,6 +166,7 @@ class QueryService:
         default_limit: int | None = None,
         metrics=None,
         slow_log=None,
+        query_log=None,
         engine=None,
         retry_after: float = 0.05,
     ):
@@ -171,12 +179,23 @@ class QueryService:
         self.default_limit = default_limit
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.slow_log = slow_log
+        self.query_log = query_log
+        self.started_at = time.monotonic()
         self.cache = ResultCache(cache_size)
         self.admission = AdmissionController(
             max_pending=max_pending, max_inflight=max_inflight,
             retry_after=retry_after,
         )
         self._fingerprint = index_fingerprint(index)
+        # Custom engines (baselines, test stubs) may predate the
+        # query_id parameter; detect support once instead of taxing
+        # every evaluation with a try/except.
+        try:
+            parameters = inspect.signature(
+                self.engine.evaluate).parameters
+            self._engine_takes_query_id = "query_id" in parameters
+        except (TypeError, ValueError):  # pragma: no cover - C callables
+            self._engine_takes_query_id = False
         self._queue: queue.Queue = queue.Queue()
         self._tickets: dict[str, Ticket] = {}
         self._lock = threading.Lock()      # tickets / obs merge / slowlog
@@ -225,11 +244,20 @@ class QueryService:
         cached = self.cache.lookup(key, limit)
         query_id = f"q{next(self._ids)}"
         if cached is not None:
+            # lookup() materialised a fresh QueryResult, so stamping
+            # the correlation id never mutates a shared cache entry.
+            cached.stats.query_id = query_id
             if obs.enabled:
                 with self._lock:
                     obs.inc("serve.submitted")
                     obs.inc("serve.cache_hits")
                     obs.set_gauge("serve.cache_size", len(self.cache))
+            if self.query_log is not None:
+                self.query_log.log(
+                    query_id, str(rpq), cached.stats,
+                    n_results=len(cached.pairs),
+                    engine=f"serve/{self.engine.name}",
+                )
             ticket = Ticket(query_id, rpq, timeout, limit, deadline)
             ticket._settle(cached)
             return ticket
@@ -318,7 +346,10 @@ class QueryService:
         """Stop accepting work and (optionally) join the workers.
 
         Queries still queued are drained and settled normally before
-        the workers exit.
+        the workers exit.  All load gauges (queue depth, in-flight,
+        cache size) are zeroed so a telemetry scrape after shutdown
+        reports no phantom load — a counter survives its process, a
+        gauge must not survive its service.
         """
         if self._closed:
             return
@@ -328,6 +359,12 @@ class QueryService:
         if wait:
             for thread in self._threads:
                 thread.join()
+        obs = self.metrics
+        if obs.enabled:
+            with self._lock:
+                obs.set_gauge("serve.queue_depth", 0)
+                obs.set_gauge("serve.inflight", 0)
+                obs.set_gauge("serve.cache_size", 0)
 
     def __enter__(self) -> "QueryService":
         return self
@@ -342,6 +379,28 @@ class QueryService:
             "fingerprint": self._fingerprint,
             "cache": self.cache.snapshot(),
             "admission": self.admission.snapshot(),
+        }
+
+    @property
+    def obs_lock(self) -> threading.Lock:
+        """The lock guarding :attr:`metrics` (and the slow log).
+
+        The telemetry plane — :class:`~repro.obs.httpd.TelemetryServer`
+        scrapes, :class:`~repro.obs.sampler.ResourceSampler` gauge
+        writes — must hold this lock around any registry access, since
+        :class:`~repro.obs.metrics.Metrics` itself is not thread-safe.
+        """
+        return self._lock
+
+    def healthz(self) -> dict:
+        """Liveness/load snapshot for the ``/healthz`` endpoint."""
+        return {
+            "closed": self._closed,
+            "workers": self.workers,
+            "queue_depth": self.admission.pending,
+            "inflight": self.admission.inflight,
+            "cache_size": len(self.cache),
+            "service_uptime_seconds": time.monotonic() - self.started_at,
         }
 
     # ------------------------------------------------------------------
@@ -368,7 +427,7 @@ class QueryService:
             if ticket.cancelled:
                 # Cancelled while queued: settle without ever running.
                 self.admission.abandon()
-                stats = QueryStats()
+                stats = QueryStats(query_id=ticket.query_id)
                 stats.cancelled = True
                 self._finish(
                     key, ticket, QueryResult(stats=stats),
@@ -404,7 +463,7 @@ class QueryService:
             if remaining <= 0:
                 # Expired while queued: degrade gracefully without
                 # touching the index.
-                stats = QueryStats()
+                stats = QueryStats(query_id=ticket.query_id)
                 stats.timed_out = True
                 stats.truncated = True
                 return QueryResult(stats=stats)
@@ -416,6 +475,9 @@ class QueryService:
         if spans is not None:
             span = spans.start(f"worker:{worker_id}")
             span.set(query=str(ticket.query), query_id=ticket.query_id)
+        kwargs = {}
+        if self._engine_takes_query_id:
+            kwargs["query_id"] = ticket.query_id
         try:
             result = self.engine.evaluate(
                 ticket.query,
@@ -423,6 +485,7 @@ class QueryService:
                 limit=ticket.limit,
                 metrics=local,
                 cancel=ticket.cancel_event,
+                **kwargs,
             )
         finally:
             # The span must close even on an evaluation error — a
@@ -467,7 +530,17 @@ class QueryService:
                     truncated=stats.truncated,
                     counters=stats.operation_counts(),
                     engine=f"serve/{self.engine.name}",
+                    query_id=ticket.query_id,
                 )
+        if self.query_log is not None:
+            # The writer has its own lock; keep the JSON encoding and
+            # file write off the service lock's critical section.
+            self.query_log.log(
+                ticket.query_id, str(ticket.query), stats,
+                n_results=len(result.pairs),
+                wait_seconds=waited if ran else None,
+                engine=f"serve/{self.engine.name}",
+            )
         ticket._settle(result)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -69,3 +69,19 @@ def test_query_log_analysis(monkeypatch, capsys):
     )
     assert "pattern mix" in out
     assert "mean time per pattern" in out
+
+
+@pytest.mark.concurrency
+def test_live_telemetry(monkeypatch, capsys, tmp_path):
+    stacks_path = tmp_path / "stacks.collapsed"
+    out = run_example(
+        monkeypatch, capsys, "live_telemetry.py",
+        ["--queries", "20", "--out", str(stacks_path)],
+    )
+    assert "/healthz ok" in out
+    assert "/metrics ok" in out
+    assert "/debug/vars ok" in out
+    assert "all checks passed" in out
+    # The collapsed-stacks artifact exists (may be empty on a very
+    # fast run where no sampler tick caught an engine frame).
+    assert stacks_path.exists()

@@ -253,14 +253,19 @@ class TestQueryService:
                           metrics=obs, slow_log=slow) as service:
             service.evaluate("(?x, p0/p1, ?y)")
             service.evaluate("(?x, p0/p1, ?y)")  # cache hit
+            # Gauges report current levels; everything drained by now.
+            assert obs.gauge("serve.queue_depth") == 0
+            assert obs.gauge("serve.inflight") == 0
+            assert obs.gauge("serve.cache_size") == 1
         assert obs.count("serve.submitted") == 2
         assert obs.count("serve.completed") == 1
         assert obs.count("serve.cache_misses") == 1
         assert obs.count("serve.cache_hits") == 1
-        # Gauges report current levels; everything drained by now.
+        # close() zeroes every load gauge: a scrape after shutdown
+        # must not report phantom load.
         assert obs.gauge("serve.queue_depth") == 0
         assert obs.gauge("serve.inflight") == 0
-        assert obs.gauge("serve.cache_size") == 1
+        assert obs.gauge("serve.cache_size") == 0
         # Latency histograms observed both sides of the queue.
         assert obs.histogram("serve.wait_seconds") is not None
         assert obs.histogram("serve.query_seconds") is not None

@@ -1,0 +1,144 @@
+"""Tests for the fixed-capacity ring-buffer time series.
+
+The module-level invariants (documented on :class:`TimeSeries`) are
+pinned here both by example and by a hypothesis property test driving
+random append sequences against a plain-list reference model:
+
+* ``len(series) == min(capacity, total_appended)`` — retention never
+  exceeds capacity, never undercounts what was appended;
+* :meth:`points` is exactly the last ``len`` appended points, oldest
+  first, in append order;
+* ``min``/``max``/``last``/``mean`` agree with the retained points.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.timeseries import TimeSeries
+
+
+class TestTimeSeriesBasics:
+    def test_empty(self):
+        ts = TimeSeries("m", capacity=4)
+        assert len(ts) == 0
+        assert ts.points() == []
+        assert ts.values() == []
+        assert ts.last() is None
+        assert ts.last_point() is None
+        assert ts.min() is None and ts.max() is None and ts.mean() is None
+        assert ts.percentile(50.0) is None
+        assert ts.summary() == {"count": 0, "total_appended": 0}
+
+    def test_append_below_capacity(self):
+        ts = TimeSeries("m", capacity=4)
+        ts.append(1.0, 10.0)
+        ts.append(2.0, 30.0)
+        ts.append(3.0, 20.0)
+        assert len(ts) == 3
+        assert ts.total_appended == 3
+        assert ts.points() == [(1.0, 10.0), (2.0, 30.0), (3.0, 20.0)]
+        assert ts.last() == 20.0
+        assert ts.last_point() == (3.0, 20.0)
+        assert ts.min() == 10.0 and ts.max() == 30.0
+        assert ts.mean() == pytest.approx(20.0)
+
+    def test_wraparound_evicts_oldest(self):
+        ts = TimeSeries("m", capacity=3)
+        for i in range(7):
+            ts.append(float(i), float(i * i))
+        # Only the last 3 of the 7 appends remain, oldest first.
+        assert len(ts) == 3
+        assert ts.total_appended == 7
+        assert ts.points() == [(4.0, 16.0), (5.0, 25.0), (6.0, 36.0)]
+        assert ts.min() == 16.0 and ts.max() == 36.0 and ts.last() == 36.0
+
+    def test_capacity_one(self):
+        ts = TimeSeries("m", capacity=1)
+        ts.append(1.0, 5.0)
+        ts.append(2.0, 7.0)
+        assert ts.points() == [(2.0, 7.0)]
+        assert ts.min() == ts.max() == ts.last() == 7.0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeries("m", capacity=0)
+
+    def test_percentile_bounds_and_interpolation(self):
+        ts = TimeSeries("m", capacity=8)
+        for i, v in enumerate([1.0, 2.0, 3.0, 4.0]):
+            ts.append(float(i), v)
+        assert ts.percentile(0.0) == 1.0
+        assert ts.percentile(100.0) == 4.0
+        assert ts.percentile(50.0) == pytest.approx(2.5)
+        with pytest.raises(ValueError):
+            ts.percentile(101.0)
+        with pytest.raises(ValueError):
+            ts.percentile(-1.0)
+
+    def test_to_dict_tail_bound(self):
+        ts = TimeSeries("m", capacity=100)
+        for i in range(50):
+            ts.append(float(i), float(i))
+        dump = ts.to_dict(max_points=10)
+        assert dump["name"] == "m"
+        assert dump["capacity"] == 100
+        assert dump["count"] == 50
+        assert len(dump["points"]) == 10
+        # The tail keeps the most recent points.
+        assert dump["points"][-1] == [49.0, 49.0]
+        assert dump["points"][0] == [40.0, 40.0]
+        full = ts.to_dict(max_points=None)
+        assert len(full["points"]) == 50
+
+
+@pytest.mark.hypothesis
+class TestTimeSeriesProperties:
+    @given(
+        capacity=st.integers(min_value=1, max_value=16),
+        values=st.lists(
+            st.floats(allow_nan=False, allow_infinity=False,
+                      width=32),
+            max_size=64,
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_list_reference_model(self, capacity, values):
+        ts = TimeSeries("m", capacity=capacity)
+        reference: list[tuple[float, float]] = []
+        for i, v in enumerate(values):
+            ts.append(float(i), v)
+            reference.append((float(i), float(v)))
+
+        retained = reference[-capacity:]
+
+        # Capacity bound and append accounting.
+        assert len(ts) == min(capacity, len(values))
+        assert ts.total_appended == len(values)
+
+        # Ordering: exactly the last len(ts) points, oldest first.
+        assert ts.points() == retained
+        assert ts.values() == [v for _, v in retained]
+
+        # Aggregates agree with the retained window.
+        if retained:
+            window = [v for _, v in retained]
+            assert ts.last() == window[-1]
+            assert ts.last_point() == retained[-1]
+            assert ts.min() == min(window)
+            assert ts.max() == max(window)
+            assert math.isclose(
+                ts.mean(), sum(window) / len(window),
+                rel_tol=1e-9, abs_tol=1e-9,
+            )
+            summary = ts.summary()
+            assert summary["count"] == len(window)
+            assert summary["min"] == min(window)
+            assert summary["max"] == max(window)
+        else:
+            assert ts.last() is None
+            assert ts.min() is None and ts.max() is None
