@@ -137,8 +137,16 @@ class BaselineEngine:
         ring engine: partial results on timeout / result cap)."""
         rpq = as_query(query)
         stats = QueryStats()
+        stats.backend = self.name
         budget = _Budget(timeout)
         result = QueryResult(stats=stats)
+
+        if limit is not None and limit <= 0:
+            # Same short-circuit as the ring engine: a non-positive cap
+            # yields an empty truncated result without touching data.
+            stats.truncated = True
+            stats.elapsed = budget.elapsed()
+            return result
 
         subject_id = object_id = None
         known = True

@@ -56,6 +56,12 @@ class ProductBFSEngine(BaselineEngine):
         nfa, delta = self._compile(expr)
         stats.nfa_states = max(stats.nfa_states, nfa.num_states)
         pairs: set[tuple[int, int]] = set()
+        # Both endpoints fixed means at most one answer, so a cap of
+        # >= 1 can never cut anything; the ring engine likewise never
+        # tags its boolean path truncated.
+        capped = limit is not None and (
+            subject_id is None or object_id is None
+        )
 
         nullable = nfa.initial in nfa.finals
         if nullable:
@@ -83,12 +89,14 @@ class ProductBFSEngine(BaselineEngine):
                 found &= {object_id}
             for node in found:
                 pairs.add((node, start) if flipped else (start, node))
-                if limit is not None and len(pairs) >= limit:
+                if capped and len(pairs) >= limit:
                     stats.truncated = True
                     return set(sorted(pairs)[:limit])
-        if limit is not None and len(pairs) > limit:
-            # The zero-length pairs of a nullable expression can exceed
-            # the cap before the search even starts.
+        if capped and len(pairs) >= limit:
+            # The zero-length pairs of a nullable expression can reach
+            # the cap before the search even starts; hitting the cap
+            # exactly still tags the result (the engine stopped *at*
+            # the cap and cannot know the answer set was complete).
             stats.truncated = True
             pairs = set(sorted(pairs)[:limit])
         return pairs

@@ -40,7 +40,25 @@ PAPER_NAMES = {
     SemiNaiveEngine.name: "Virtuoso (semi-naive)",
     AlpPlannerEngine.name: "Blazegraph (ALP+plan)",
     ProductBFSEngine.name: "Product-BFS",
+    "matrix": "Sparse matrix",
+    "routed": "Routed (ring/matrix)",
 }
+
+#: Engines that need scipy (the matrix backend and its router); built
+#: lazily so environments without scipy keep the rest of the registry.
+MATRIX_ENGINES = ("matrix", "routed")
+
+
+def _make_matrix_engine(name: str, index: RingIndex):
+    try:
+        from repro.matrix import MatrixRPQEngine, RoutedRPQEngine
+    except ImportError as exc:
+        raise ConstructionError(
+            f"engine {name!r} needs scipy (sparse matrices): {exc}"
+        ) from exc
+    if name == "matrix":
+        return MatrixRPQEngine(index)
+    return RoutedRPQEngine(index)
 
 
 def make_engine(name: str, index: RingIndex,
@@ -48,11 +66,13 @@ def make_engine(name: str, index: RingIndex,
     """Instantiate one engine by registry name."""
     if name == "ring":
         return RingRPQEngine(index)
+    if name in MATRIX_ENGINES:
+        return _make_matrix_engine(name, index)
     cls = BASELINE_CLASSES.get(name)
     if cls is None:
         raise ConstructionError(
             f"unknown engine {name!r}; known: ring, "
-            + ", ".join(sorted(BASELINE_CLASSES))
+            + ", ".join(sorted((*BASELINE_CLASSES, *MATRIX_ENGINES)))
         )
     if encoded is None:
         encoded = EncodedGraph.from_index(index)

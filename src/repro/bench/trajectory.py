@@ -51,6 +51,56 @@ WORKERS_PARAMS = dict(
 )
 
 
+def matrix_section(context) -> "dict | None":
+    """The ``matrix`` section: both alternate backends on the pinned
+    workload, plus the router's decision tally.
+
+    Runs the sparse-matrix engine and the cost-model router over the
+    same query log the ring section used, reports each with the same
+    per-shape/per-pattern tails, and folds in the router counters
+    (decisions, per-backend splits, misroutes and the misroute rate —
+    the same numbers the live ``/metrics`` endpoint exports).  Returns
+    ``None`` when scipy is unavailable, so the trajectory file can
+    still be produced on a minimal interpreter.
+    """
+    from repro.errors import ConstructionError
+
+    try:
+        from repro.baselines.registry import make_engine
+
+        engines = {
+            "matrix": make_engine("matrix", context.index),
+            "routed": make_engine("routed", context.index),
+        }
+    except ConstructionError:
+        return None
+    from repro.obs.metrics import Metrics
+
+    registry = Metrics()
+    engines["routed"].metrics = registry
+    results = run_benchmark(
+        engines,
+        context.queries,
+        timeout=context.timeout,
+        limit=context.limit,
+    )
+    routed = engines["routed"]
+    return {
+        "engines": {
+            name: engine_bench_report(results, engine=name)
+            for name in engines
+        },
+        "router": {
+            "decisions": registry.count("router.decisions"),
+            "to_ring": registry.count("router.to_ring"),
+            "to_matrix": registry.count("router.to_matrix"),
+            "misroutes": registry.count("router.misroutes"),
+            "misroute_rate": routed.misroute_rate,
+        },
+        "matrix_store_bits": routed.size_in_bits(),
+    }
+
+
 def run_trajectory(out_path: str = "BENCH_engine.json",
                    meta: "dict[str, object] | None" = None,
                    workers: "tuple[int, ...] | None" = None) -> dict:
@@ -96,6 +146,9 @@ def run_trajectory(out_path: str = "BENCH_engine.json",
         "profile_samples": profiler.samples,
         "hot_phases": profiler.hot_phases(),
     }
+    alternates = matrix_section(context)
+    if alternates is not None:
+        report["matrix"] = alternates
     if workers is None:
         workers = WORKERS_PARAMS["workers"]
     if workers:
@@ -155,6 +208,18 @@ def main(argv: "list[str] | None" = None) -> None:
         print(f"  telemetry: peak RSS {peak / 1e6:.1f} MB, "
               f"cpu {telemetry['cpu_seconds']:.1f}s, "
               f"hot phases: {hot}")
+    alternates = report.get("matrix")
+    if alternates:
+        router = alternates["router"]
+        print(f"  router: {router['decisions']} decisions "
+              f"({router['to_ring']} ring / {router['to_matrix']} matrix), "
+              f"misroute rate {router['misroute_rate']:.3f}")
+        for name, section in sorted(alternates["engines"].items()):
+            overall = section["overall"]
+            tails = overall["percentiles"]
+            print(f"  {name}: mean={overall['mean_seconds']:.4f}s "
+                  f"p95={tails['p95']:.4f}s p99={tails['p99']:.4f}s "
+                  f"timeouts={overall['timeouts']}")
     section = report.get("workers")
     if section:
         base = section["baseline"]

@@ -26,7 +26,11 @@ import sys
 import time
 
 from repro.bench import fig8, table1, table2
-from repro.baselines.registry import BASELINE_CLASSES, make_engine
+from repro.baselines.registry import (
+    BASELINE_CLASSES,
+    MATRIX_ENGINES,
+    make_engine,
+)
 from repro.graph.generators import wikidata_like
 from repro.graph.io import load_graph, save_graph
 from repro.ring.builder import RingIndex
@@ -65,6 +69,12 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _backend_engine(args: argparse.Namespace, index):
+    """The engine override for --backend (None means the ring)."""
+    backend = getattr(args, "backend", "ring")
+    return None if backend == "ring" else make_engine(backend, index)
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     from repro.obs.profile import profile_query
 
@@ -75,6 +85,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         limit=args.limit,
         trace_capacity=args.trace_capacity,
+        engine=_backend_engine(args, index),
     )
     if args.json:
         print(report.to_json())
@@ -91,14 +102,17 @@ def cmd_explain(args: argparse.Namespace) -> int:
     from repro.obs.explain import explain_analyze, format_plan, plan_dict
 
     index = _load_index(args.graph, args.symmetric)
+    engine = _backend_engine(args, index)
     analyze = args.analyze or args.trace is not None
     if not analyze:
         if args.json:
             import json
 
-            print(json.dumps(plan_dict(index, args.query), indent=2))
+            print(json.dumps(
+                plan_dict(index, args.query, engine=engine), indent=2
+            ))
         else:
-            print(format_plan(index, args.query))
+            print(format_plan(index, args.query, engine=engine))
         return 0
     report = explain_analyze(
         index,
@@ -106,6 +120,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         limit=args.limit,
         span_capacity=args.span_capacity,
+        engine=engine,
     )
     if args.json:
         print(report.to_json())
@@ -161,6 +176,12 @@ def _build_service(args: argparse.Namespace, metrics=None, slow_log=None,
     from repro.serve import QueryService
 
     index = _load_index(args.graph, args.symmetric)
+    backend = getattr(args, "backend", "ring")
+    engine = None
+    if backend != "ring":
+        # The service's slow log stays authoritative; the engine is
+        # built without one (same division as the default ring path).
+        engine = make_engine(backend, index)
     return QueryService(
         index,
         workers=args.workers,
@@ -171,6 +192,7 @@ def _build_service(args: argparse.Namespace, metrics=None, slow_log=None,
         metrics=metrics,
         slow_log=slow_log,
         query_log=query_log,
+        engine=engine,
     )
 
 
@@ -383,7 +405,8 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("graph", help="triple file (s p o per line)")
     q.add_argument("query", help='e.g. "(?x, p1/p2*, ?y)"')
     q.add_argument("--engine", default="ring",
-                   choices=["ring", *sorted(BASELINE_CLASSES)])
+                   choices=["ring", *sorted(BASELINE_CLASSES),
+                            *MATRIX_ENGINES])
     q.add_argument("--timeout", type=float, default=None)
     q.add_argument("--limit", type=int, default=1_000_000)
     q.add_argument("--symmetric", nargs="*", default=[],
@@ -399,6 +422,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("query", help='e.g. "(?x, p1/p2*, ?y)"')
     p.add_argument("--timeout", type=float, default=None)
     p.add_argument("--limit", type=int, default=1_000_000)
+    p.add_argument("--backend", default="ring",
+                   choices=["ring", *MATRIX_ENGINES],
+                   help="evaluation backend to profile")
     p.add_argument("--symmetric", nargs="*", default=[],
                    help="predicates stored bidirectionally")
     p.add_argument("--json", action="store_true",
@@ -422,6 +448,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "counters per phase")
     e.add_argument("--timeout", type=float, default=None)
     e.add_argument("--limit", type=int, default=1_000_000)
+    e.add_argument("--backend", default="ring",
+                   choices=["ring", *MATRIX_ENGINES],
+                   help="evaluation backend to explain (routed shows "
+                        "the decision and est-vs-actual seconds)")
     e.add_argument("--symmetric", nargs="*", default=[],
                    help="predicates stored bidirectionally")
     e.add_argument("--json", action="store_true",
@@ -451,6 +481,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     def _serve_common(sp) -> None:
         sp.add_argument("--workers", type=int, default=4)
+        sp.add_argument("--backend", default="ring",
+                        choices=["ring", *MATRIX_ENGINES],
+                        help="evaluation backend: the ring engine, the "
+                             "sparse-matrix engine, or the per-query "
+                             "cost-model router")
         sp.add_argument("--max-pending", type=int, default=64,
                         help="admission bound on queued+executing queries")
         sp.add_argument("--cache-size", type=int, default=128,

@@ -688,6 +688,7 @@ class RingRPQEngine:
         """
         rpq = as_query(query)
         stats = QueryStats()
+        stats.backend = self.name
         if query_id:
             stats.query_id = query_id
         budget = _Budget(timeout, cancel=cancel)

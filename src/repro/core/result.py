@@ -46,6 +46,12 @@ class QueryStats:
     #: True when the result was served from a result cache without
     #: evaluating — all operation counters are then zero.
     cached: bool = False
+    #: Which backend produced the result (``"ring"``, ``"matrix"``, a
+    #: baseline name).  The routed engine stamps its per-query choice
+    #: here so EXPLAIN ANALYZE, the slow log and the query log can
+    #: attribute every answer to the engine that computed it.  Empty
+    #: when the engine predates backend attribution.
+    backend: str = ""
     #: Product-graph node visits, i.e. (node, state-set) expansions.
     product_nodes: int = 0
     #: Product-graph edges traversed (predicate leaves accepted).
@@ -105,6 +111,12 @@ class QueryStats:
     #: Object ranges fetched from ``C_o`` to continue the traversal.
     object_ranges: int = 0
 
+    # -- sparse-matrix backend -----------------------------------------
+    #: Boolean sparse matrix multiplications (frontier x transition
+    #: matrix) performed by the matrix backend; zero for node-at-a-time
+    #: engines.
+    matmuls: int = 0
+
     # -- query compilation ---------------------------------------------
     #: Calls to the engine's ``_prepare`` (automaton + mask builds
     #: requested; v-to-v evaluation asks three times per query).
@@ -138,6 +150,7 @@ class QueryStats:
             "backward_steps": self.backward_steps,
             "object_ranges": self.object_ranges,
             "subqueries": self.subqueries,
+            "matmuls": self.matmuls,
             "prepares": self.prepares,
             "prepare_cache_hits": self.prepare_cache_hits,
             # derived: the engine's inlined descents perform exactly two

@@ -35,8 +35,14 @@ from repro.obs.metrics import Metrics
 from repro.obs.profile import ProfileReport, profile_query
 
 
-def plan_dict(index, query) -> dict:
-    """The plain-EXPLAIN plan as a JSON-ready dict."""
+def plan_dict(index, query, engine=None) -> dict:
+    """The plain-EXPLAIN plan as a JSON-ready dict.
+
+    ``engine`` overrides the planning engine (the matrix backend or
+    the cost-model router); a routing engine's plan additionally
+    carries a ``routing`` section with both backends' predicted
+    seconds and the decision.
+    """
     rpq = as_query(query)
     automaton = build_glushkov(rpq.expr)
     dictionary = index.dictionary
@@ -44,7 +50,9 @@ def plan_dict(index, query) -> dict:
         lambda atom: resolve_atom_to_predicates(atom, dictionary)
     )
     estimate = estimate_rpq_cost(index, rpq)
-    plan = index.engine.explain(rpq)
+    if engine is None:
+        engine = index.engine
+    plan = engine.explain(rpq)
     plan["automaton"] = {
         "num_states": automaton.num_states,
         "nullable": automaton.nullable,
@@ -71,9 +79,9 @@ def plan_dict(index, query) -> dict:
     return plan
 
 
-def format_plan(index, query) -> str:
+def format_plan(index, query, engine=None) -> str:
     """Human-readable plain EXPLAIN."""
-    plan = plan_dict(index, query)
+    plan = plan_dict(index, query, engine=engine)
     auto = plan["automaton"]
     est = plan["estimate"]
     lines = [
@@ -81,6 +89,8 @@ def format_plan(index, query) -> str:
         f"shape    : {plan['shape']}",
         f"strategy : {plan['strategy']}",
     ]
+    if "routing" in plan:
+        lines.append(f"routing  : {plan['routing']['decision']}")
     if "anchor_side" in plan:
         lines.append(f"anchor   : {plan['anchor_side']} side bound first")
     lines += [
@@ -170,17 +180,49 @@ class AnalyzeReport:
             return None
         return self.estimate.storage_ops / actual
 
+    def routing(self) -> dict | None:
+        """Routed runs: the decision with predicted vs. actual seconds.
+
+        ``None`` when the analyzed engine does not route.  The ratio
+        is predicted/actual for the backend that ran — the router's
+        own est-vs-actual discipline, in wall-clock currency.
+        """
+        decision = self.plan.get("routing")
+        if decision is None:
+            return None
+        backend = decision["backend"]
+        predicted = decision[f"{backend}_seconds"]
+        actual = self.profile.stats.elapsed
+        return {
+            "backend": backend,
+            "ran_backend": self.profile.stats.backend,
+            "predicted_seconds": predicted,
+            "actual_seconds": actual,
+            "ratio": (predicted / actual) if actual > 0 else None,
+        }
+
     def format(self) -> str:
         stats = self.profile.stats
         lines = [self._plan_text]
         lines.append("")
         suffix = f"  [id {stats.query_id}]" if stats.query_id else ""
+        via = f" via {stats.backend}" if stats.backend else ""
         lines.append(
             f"ANALYZE: {len(self.profile.result)} result(s) in "
-            f"{stats.elapsed * 1e3:.3f} ms "
+            f"{stats.elapsed * 1e3:.3f} ms{via} "
             f"(modeled {self.estimate.modeled_seconds * 1e3:.3f} ms)"
             f"{suffix}"
         )
+        routing = self.routing()
+        if routing is not None:
+            ratio = routing["ratio"]
+            ratio_text = "-" if ratio is None else f"{ratio:.2f}x"
+            lines.append(
+                f"routing: chose {routing['backend']} — predicted "
+                f"{routing['predicted_seconds'] * 1e3:.3f} ms, actual "
+                f"{routing['actual_seconds'] * 1e3:.3f} ms "
+                f"(est/actual {ratio_text})"
+            )
         lines.append("")
         header = ("phase", "metric", "estimated", "actual", "est/actual")
         rows = [header]
@@ -228,9 +270,11 @@ class AnalyzeReport:
         out = {
             "plan": plan,
             "query_id": self.profile.stats.query_id,
+            "backend": self.profile.stats.backend,
             "analyze": self.profile.to_dict(),
             "comparison": self.comparison(),
             "misestimation": self.misestimation(),
+            "routing": self.routing(),
         }
         spans = self.metrics.spans
         if spans is not None:
@@ -257,6 +301,7 @@ def explain_analyze(
     span_capacity: int = 100_000,
     trace_capacity: int = 0,
     query_id: "str | None" = None,
+    engine=None,
 ) -> AnalyzeReport:
     """Run ``query`` under full telemetry and pair the measured
     counters with the pre-execution estimates.
@@ -264,20 +309,22 @@ def explain_analyze(
     Each run carries a ``query_id`` (minted when not supplied) stamped
     onto the stats, the span tree and the report, so an EXPLAIN
     ANALYZE can be correlated against a service's slow/query logs for
-    the same query.
+    the same query.  ``engine`` overrides the evaluation engine; a
+    routing engine's report additionally carries the decision with
+    predicted vs. actual seconds (:meth:`AnalyzeReport.routing`).
     """
     rpq = as_query(query)
     if query_id is None:
         query_id = f"explain-{uuid.uuid4().hex[:12]}"
-    plan = plan_dict(index, rpq)
-    plan["_text"] = format_plan(index, rpq)
+    plan = plan_dict(index, rpq, engine=engine)
+    plan["_text"] = format_plan(index, rpq, engine=engine)
     estimate = estimate_rpq_cost(index, rpq)
     metrics = Metrics(
         trace_capacity=trace_capacity, span_capacity=span_capacity
     )
     report = profile_query(
         index, rpq, timeout=timeout, limit=limit, metrics=metrics,
-        query_id=query_id,
+        query_id=query_id, engine=engine,
     )
     return AnalyzeReport(
         plan=plan, estimate=estimate, profile=report, metrics=metrics

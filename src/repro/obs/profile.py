@@ -66,6 +66,10 @@ class ProfileReport:
         lines = [
             f"query   : {self.query}",
             f"shape   : {self.shape}",
+        ]
+        if stats.backend:
+            lines.append(f"backend : {stats.backend}")
+        lines += [
             f"results : {len(self.result)} in {stats.elapsed:.4f}s{suffix}",
             "",
         ]
@@ -144,6 +148,7 @@ class ProfileReport:
             "query": self.query,
             "query_id": stats.query_id,
             "shape": self.shape,
+            "backend": stats.backend,
             "n_results": len(self.result),
             "elapsed": stats.elapsed,
             "timed_out": stats.timed_out,
@@ -171,6 +176,7 @@ def profile_query(
     trace_capacity: int = 0,
     metrics: Metrics | None = None,
     query_id: "str | None" = None,
+    engine=None,
 ) -> ProfileReport:
     """Evaluate ``query`` on ``index``'s ring engine under full metrics.
 
@@ -182,14 +188,20 @@ def profile_query(
     Pass an existing ``metrics`` registry to accumulate several queries
     into one; by default each call gets a fresh one.  ``query_id`` is
     threaded through to the engine so the profiled run's stats and
-    span tree carry the caller's correlation id.
+    span tree carry the caller's correlation id.  ``engine`` overrides
+    the evaluation engine (the matrix backend, the router, an
+    ablation); the default is the index's ring engine.  The succinct
+    layer is instrumented either way — a matrix run simply reports no
+    wavelet traffic, which is itself informative.
     """
     rpq = as_query(query)
     obs = metrics if metrics is not None else Metrics(
         trace_capacity=trace_capacity
     )
+    if engine is None:
+        engine = index.engine
     with instrument_index(index, obs):
-        result = index.engine.evaluate(
+        result = engine.evaluate(
             rpq, timeout=timeout, limit=limit, metrics=obs,
             query_id=query_id,
         )

@@ -187,6 +187,11 @@ class QueryService:
             retry_after=retry_after,
         )
         self._fingerprint = index_fingerprint(index)
+        # A routing engine decides its backend per query; the decision
+        # must join the cache key *before* lookup, or a hit could
+        # serve a result whose truncation order belongs to the other
+        # backend.  Single-backend engines keep the legacy key shape.
+        self._backend_for = getattr(self.engine, "backend_for", None)
         # Custom engines (baselines, test stubs) may predate the
         # query_id parameter; detect support once instead of taxing
         # every evaluation with a try/except.
@@ -240,7 +245,9 @@ class QueryService:
             limit = self.default_limit
 
         obs = self.metrics
-        key = query_cache_key(rpq, self._fingerprint)
+        backend = (self._backend_for(rpq)
+                   if self._backend_for is not None else None)
+        key = query_cache_key(rpq, self._fingerprint, backend=backend)
         cached = self.cache.lookup(key, limit)
         query_id = f"q{next(self._ids)}"
         if cached is not None:

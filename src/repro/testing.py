@@ -105,6 +105,18 @@ def brute_force_rpq(
     return pairs
 
 
+def swap_pairs(pairs: set[tuple[str, str]]) -> set[tuple[str, str]]:
+    """Swap every pair's endpoints — the reversal-duality oracle.
+
+    For any expression, ``x`` reaches ``o`` through ``E`` iff ``o``
+    reaches ``x`` through ``reverse(E)`` (on the completed graph every
+    atom has its inverse twin), so
+    ``pairs(?x, E, ?y) == swap_pairs(pairs(?x, reverse(E), ?y))``.
+    The metamorphic suite asserts this identity against every backend.
+    """
+    return {(o, s) for s, o in pairs}
+
+
 def random_regex(
     rng: random.Random,
     predicates: list[str],

@@ -2,9 +2,30 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+
+try:
+    from hypothesis import settings as _hypothesis_settings
+except ImportError:  # pragma: no cover - hypothesis is an extra
+    _hypothesis_settings = None
+
+if _hypothesis_settings is not None:
+    # "default" matches the explicit @settings most suites carry;
+    # "differential" is the CI cross-backend job's deeper profile
+    # (more examples, no deadline so slow shrinks never flake).
+    # Select with HYPOTHESIS_PROFILE=differential.
+    _hypothesis_settings.register_profile(
+        "default", max_examples=40, deadline=None,
+    )
+    _hypothesis_settings.register_profile(
+        "differential", max_examples=200, deadline=None,
+    )
+    _hypothesis_settings.load_profile(
+        os.environ.get("HYPOTHESIS_PROFILE", "default")
+    )
 
 from repro.graph.datasets import (
     SANTIAGO_NODE_ORDER,

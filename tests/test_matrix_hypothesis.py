@@ -1,0 +1,113 @@
+"""Property-based ring/matrix differential testing.
+
+Hypothesis generates the graph, the expression, and the shape; the
+property is exact pair-set agreement between the ring engine and the
+sparse-matrix backend — on unbounded runs, under a result cap, and
+under a zero timeout.  Example counts come from the profile registered
+in ``conftest.py`` (``HYPOTHESIS_PROFILE=differential`` deepens the
+search in CI), so no ``max_examples`` is pinned here.
+
+Failures are persisted through :func:`tests.harness.save_corpus_case`
+under a stable per-test name: the shrinking loop overwrites the file,
+so the minimal counterexample is what lands in ``tests/corpus/`` and
+gets replayed forever after by ``test_cross_backend.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("scipy", reason="matrix backend needs scipy",
+                    exc_type=ImportError)
+
+pytestmark = pytest.mark.hypothesis
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.registry import make_engine
+from repro.core.engine import RingRPQEngine
+from repro.graph.model import Graph
+from repro.ring.builder import RingIndex
+from tests.harness import save_corpus_case
+from tests.test_engine_hypothesis import NODES, expressions, graphs
+
+
+def _engines(graph):
+    index = RingIndex.from_graph(graph)
+    return RingRPQEngine(index), make_engine("matrix", index)
+
+
+def _saving(name, graph, query, note):
+    """Persist the (current, possibly shrinking) failing case and let
+    the assertion propagate so hypothesis keeps shrinking it."""
+    save_corpus_case(name, graph, query, note=note)
+
+
+@settings(deadline=None)
+@given(graph=graphs(), expr=expressions(),
+       shape=st.sampled_from(["vv", "vc", "cv", "cc"]),
+       s_pick=st.integers(0, 7), o_pick=st.integers(0, 7))
+def test_ring_matrix_agree(graph, expr, shape, s_pick, o_pick):
+    subject = "?x" if shape[0] == "v" else NODES[s_pick]
+    obj = "?y" if shape[1] == "v" else NODES[o_pick]
+    query = f"({subject}, {expr}, {obj})"
+    ring, matrix = _engines(graph)
+    ring_pairs = ring.evaluate(query, timeout=60).pairs
+    matrix_pairs = matrix.evaluate(query, timeout=60).pairs
+    if ring_pairs != matrix_pairs:
+        _saving(
+            "hyp_ring_matrix_equiv", graph, query,
+            note="hypothesis-shrunk: ring and matrix pair sets diverged",
+        )
+    assert ring_pairs == matrix_pairs, query
+
+
+@settings(deadline=None)
+@given(graph=graphs(), expr=expressions(), limit=st.integers(0, 6))
+def test_ring_matrix_agree_under_limit(graph, expr, limit):
+    """Capped runs: both backends return subsets of the same answer
+    set, never exceed the cap, and an untagged result is complete."""
+    query = f"(?x, {expr}, ?y)"
+    ring, matrix = _engines(graph)
+    oracle = ring.evaluate(query, timeout=60).pairs
+    for backend, engine in (("ring", ring), ("matrix", matrix)):
+        result = engine.evaluate(query, timeout=60, limit=limit)
+        ok = (
+            result.pairs <= oracle
+            and len(result.pairs) <= limit
+            and (result.stats.truncated or result.pairs == oracle)
+            and (limit > 0 or (result.stats.truncated and not result.pairs))
+        )
+        if not ok:
+            _saving(
+                "hyp_ring_matrix_limit", graph, query,
+                note=(
+                    "hypothesis-shrunk: limit-boundary contract broke "
+                    f"on the {backend} backend at limit={limit}"
+                ),
+            )
+        assert ok, (backend, query, limit, len(oracle))
+
+
+@settings(deadline=None)
+@given(graph=graphs(), expr=expressions())
+def test_ring_matrix_zero_timeout_well_formed(graph, expr):
+    """Zero budget: either a timeout-tagged subset or the full answer."""
+    query = f"(?x, {expr}, ?y)"
+    ring, matrix = _engines(graph)
+    oracle = ring.evaluate(query, timeout=60).pairs
+    for backend, engine in (("ring", ring), ("matrix", matrix)):
+        result = engine.evaluate(query, timeout=0.0)
+        ok = result.pairs <= oracle and (
+            result.stats.timed_out or result.pairs == oracle
+        )
+        if not ok:
+            _saving(
+                "hyp_ring_matrix_timeout", graph, query,
+                note=(
+                    "hypothesis-shrunk: zero-timeout tagging broke on "
+                    f"the {backend} backend"
+                ),
+            )
+        assert ok, (backend, query)

@@ -1,0 +1,80 @@
+"""Metamorphic identities over the RPQ algebra, on both backends.
+
+These tests need no oracle: they relate an engine's answer on one
+query to its answer on an algebraically equal (or dual) query, so a
+bug has to conspire to break both sides identically to slip through.
+Identities checked, against the ring engine and the sparse-matrix
+backend:
+
+* union commutativity       ``pairs(a|b) == pairs(b|a)``
+* concat associativity      ``pairs((a/b)/c) == pairs(a/(b/c))``
+* star idempotence          ``pairs((r*)*) == pairs(r*)``
+* reversal duality          ``pairs(r) == swap(pairs(reverse(r)))``
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("scipy", reason="matrix backend needs scipy",
+                    exc_type=ImportError)
+
+pytestmark = pytest.mark.hypothesis
+
+from hypothesis import given, settings
+
+from repro.automata.parser import parse_regex
+from repro.baselines.registry import make_engine
+from repro.core.engine import RingRPQEngine
+from repro.ring.builder import RingIndex
+from repro.testing import swap_pairs
+from tests.test_engine_hypothesis import expressions, graphs
+
+
+def _backends(graph):
+    index = RingIndex.from_graph(graph)
+    return [
+        ("ring", RingRPQEngine(index)),
+        ("matrix", make_engine("matrix", index)),
+    ]
+
+
+def _pairs(engine, expr):
+    return engine.evaluate(f"(?x, {expr}, ?y)", timeout=60).pairs
+
+
+@settings(deadline=None)
+@given(graph=graphs(), a=expressions(), b=expressions())
+def test_union_commutes(graph, a, b):
+    for name, engine in _backends(graph):
+        left = _pairs(engine, f"({a}|{b})")
+        right = _pairs(engine, f"({b}|{a})")
+        assert left == right, (name, a, b)
+
+
+@settings(deadline=None)
+@given(graph=graphs(), a=expressions(), b=expressions(), c=expressions())
+def test_concat_associates(graph, a, b, c):
+    for name, engine in _backends(graph):
+        left = _pairs(engine, f"(({a})/({b}))/({c})")
+        right = _pairs(engine, f"({a})/(({b})/({c}))")
+        assert left == right, (name, a, b, c)
+
+
+@settings(deadline=None)
+@given(graph=graphs(), r=expressions())
+def test_double_star_collapses(graph, r):
+    for name, engine in _backends(graph):
+        once = _pairs(engine, f"({r})*")
+        twice = _pairs(engine, f"(({r})*)*")
+        assert once == twice, (name, r)
+
+
+@settings(deadline=None)
+@given(graph=graphs(), r=expressions())
+def test_reversal_duality(graph, r):
+    reversed_r = str(parse_regex(r).reverse())
+    for name, engine in _backends(graph):
+        forward = _pairs(engine, r)
+        backward = _pairs(engine, reversed_r)
+        assert forward == swap_pairs(backward), (name, r, reversed_r)
