@@ -47,6 +47,7 @@ from repro.errors import (
     ReproError,
     ResultLimitExceeded,
     UnknownSymbolError,
+    WorkerCrashedError,
 )
 from repro.graph.model import Graph
 from repro.obs.metrics import NULL_METRICS, Metrics
@@ -54,6 +55,7 @@ from repro.obs.profile import ProfileReport, profile_query
 from repro.ring.builder import RingIndex
 from repro.ring.dictionary import Dictionary
 from repro.ring.ring import Ring
+from repro.serve.pool import ProcessQueryService
 from repro.serve.service import QueryService
 
 __version__ = "1.0.0"
@@ -65,6 +67,7 @@ __all__ = [
     "Metrics",
     "NULL_METRICS",
     "OverloadedError",
+    "ProcessQueryService",
     "ProfileReport",
     "QueryCancelledError",
     "QueryResult",
@@ -80,6 +83,7 @@ __all__ = [
     "RPQ",
     "UnknownSymbolError",
     "Variable",
+    "WorkerCrashedError",
     "__version__",
     "parse_regex",
     "profile_query",

@@ -325,6 +325,26 @@ def write_engine_bench_json(
     return report
 
 
+def _make_pool_service(kind: str, index, workers: int, max_pending: int,
+                       cache_size: int, timeout, limit):
+    from repro.serve import ProcessQueryService, QueryService
+
+    if kind == "threads":
+        cls = QueryService
+    elif kind == "processes":
+        cls = ProcessQueryService
+    else:
+        raise ValueError(f"unknown pool kind {kind!r}")
+    return cls(
+        index,
+        workers=workers,
+        max_pending=max_pending,
+        cache_size=cache_size,
+        default_timeout=timeout,
+        default_limit=limit,
+    )
+
+
 def service_throughput_report(
     index,
     queries: list[RPQ],
@@ -333,23 +353,37 @@ def service_throughput_report(
     timeout: "float | None" = None,
     limit: "int | None" = 100_000,
     cache_size: int = 256,
+    pool_kinds: tuple[str, ...] = ("threads", "processes"),
+    pool_workers: tuple[int, ...] = (1, 2, 4),
+    burst_pending: int = 8,
 ) -> dict:
-    """Aggregate-QPS scaling of :class:`~repro.serve.QueryService`.
+    """Aggregate-QPS scaling of the serving tiers.
 
-    Replays the query log ``rounds`` times through (a) a bare engine,
-    sequentially and uncached — the baseline — and (b) a
-    :class:`QueryService` pool at each requested worker count, result
-    cache enabled.  Repeated rounds are the representative serving
-    workload (dashboards and benchmark loops re-issue the same
-    patterns), and they are where the aggregate numbers diverge: under
-    CPython's GIL the pool cannot parallelise single-query CPU work,
-    so the speedup recorded here is earned by the result cache
-    answering repeats without touching the index, plus overlap of the
-    cheap per-query bookkeeping.  The report says so explicitly via
-    each pool's cache hit rate.
+    Four measurements over the same query log:
+
+    * ``baseline`` — a bare engine, sequential and uncached, replayed
+      ``rounds`` times; the denominator for every speedup.
+    * ``cached`` — the thread tier at each ``workers`` count with the
+      result cache on, replayed ``rounds`` times.  Repeated rounds are
+      the representative serving workload, and the speedup here is
+      earned by the cache answering repeats plus bookkeeping overlap —
+      under CPython's GIL threads cannot parallelise the index walks
+      themselves; each entry's cache hit rate says so explicitly.
+    * ``pools`` — the honest parallelism axis: ``threads`` vs
+      ``processes`` (:class:`~repro.serve.ProcessQueryService` over one
+      shared-memory snapshot) at each ``pool_workers`` count, cache
+      *disabled*, one uncached pass each.  ``scaling_efficiency`` is
+      ``qps / (single-worker qps × workers)`` within the same kind —
+      the number that shows whether extra workers buy real throughput.
+      Only the process tier can exceed thread-tier numbers on
+      CPU-bound RPQs, and only when the machine has cores to spare.
+    * ``burst`` — an open-loop overload probe: every query submitted
+      at once (no retry, nobody waits before submitting more) against
+      a deliberately small admission bound, so the fast-reject path is
+      exercised and ``rejected > 0`` is observed rather than assumed.
     """
     from repro.core.engine import RingRPQEngine
-    from repro.serve import QueryService
+    from repro.errors import OverloadedError
     from repro.serve.batch import drain_queries
 
     engine = RingRPQEngine(index)
@@ -374,17 +408,14 @@ def service_throughput_report(
             "elapsed_seconds": baseline_elapsed,
             "qps": baseline_qps,
         },
+        "cached": {},
         "pools": {},
     }
     texts = [str(query) for query in queries]
     for n in workers:
-        service = QueryService(
-            index,
-            workers=n,
-            max_pending=max(64, len(queries) + n),
-            cache_size=cache_size,
-            default_timeout=timeout,
-            default_limit=limit,
+        service = _make_pool_service(
+            "threads", index, n, max(64, len(queries) + n),
+            cache_size, timeout, limit,
         )
         try:
             summary = drain_queries(
@@ -393,7 +424,7 @@ def service_throughput_report(
         finally:
             service.close()
         cache = summary["service"]["cache"]
-        report["pools"][str(n)] = {
+        report["cached"][str(n)] = {
             "workers": n,
             "completed": summary["completed"],
             "rejected": summary["rejected"],
@@ -405,6 +436,69 @@ def service_throughput_report(
             "cache_hits": cache["hits"],
             "cache_misses": cache["misses"],
             "cache_hit_rate": cache["hit_rate"],
+        }
+
+    for kind in pool_kinds:
+        section: dict = {}
+        for n in pool_workers:
+            service = _make_pool_service(
+                kind, index, n, max(64, len(queries) + n),
+                0, timeout, limit,
+            )
+            try:
+                summary = drain_queries(
+                    service, texts, rounds=1, timeout=timeout, limit=limit
+                )
+            finally:
+                service.close()
+            section[str(n)] = {
+                "workers": n,
+                "mode": "uncached",
+                "completed": summary["completed"],
+                "elapsed_seconds": summary["elapsed_seconds"],
+                "qps": summary["qps"],
+            }
+        single = section.get("1")
+        single_qps = single["qps"] if single else 0.0
+        for entry in section.values():
+            n = entry["workers"]
+            if single_qps > 0:
+                entry["speedup_vs_1"] = entry["qps"] / single_qps
+                entry["scaling_efficiency"] = entry["speedup_vs_1"] / n
+            else:
+                entry["speedup_vs_1"] = None
+                entry["scaling_efficiency"] = None
+        report["pools"][kind] = section
+
+    if burst_pending:
+        burst_workers = 2
+        service = _make_pool_service(
+            "threads", index, burst_workers, burst_pending,
+            0, timeout, limit,
+        )
+        accepted = []
+        rejected = 0
+        t0 = time.perf_counter()
+        try:
+            for query in texts:
+                try:
+                    accepted.append(service.submit(
+                        query, timeout=timeout, limit=limit
+                    ))
+                except OverloadedError:
+                    rejected += 1
+            for ticket in accepted:
+                ticket.result()
+        finally:
+            service.close()
+        report["burst"] = {
+            "mode": "open-loop",
+            "workers": burst_workers,
+            "max_pending": burst_pending,
+            "offered": len(texts),
+            "accepted": len(accepted),
+            "rejected": rejected,
+            "elapsed_seconds": time.perf_counter() - t0,
         }
     return report
 

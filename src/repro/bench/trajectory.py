@@ -44,10 +44,15 @@ TRAJECTORY_PARAMS = dict(
 #: must cover the ~331-query working set — an undersized cache thrashes
 #: (round N+1 replays evict round N before it is reused) and the
 #: section would measure LRU churn instead of serving throughput.
+#: ``pool_workers`` / ``pool_kinds`` pin the uncached thread-vs-process
+#: scaling axis; ``burst_pending`` the open-loop overload probe.
 WORKERS_PARAMS = dict(
     workers=(1, 4),
     rounds=3,
     cache_size=512,
+    pool_workers=(1, 2, 4),
+    pool_kinds=("threads", "processes"),
+    burst_pending=8,
 )
 
 
@@ -103,13 +108,15 @@ def matrix_section(context) -> "dict | None":
 
 def run_trajectory(out_path: str = "BENCH_engine.json",
                    meta: "dict[str, object] | None" = None,
-                   workers: "tuple[int, ...] | None" = None) -> dict:
+                   workers: "tuple[int, ...] | None" = None,
+                   pool_kinds: "tuple[str, ...] | None" = None) -> dict:
     """Run the ring engine over the pinned workload and write the report.
 
     ``workers`` (default: the pinned ``WORKERS_PARAMS`` pool sizes)
-    additionally measures :class:`~repro.serve.QueryService` aggregate
-    throughput over the same query log and records it as the report's
-    ``workers`` section; pass an empty tuple to skip it.
+    additionally measures serving-tier aggregate throughput over the
+    same query log and records it as the report's ``workers`` section;
+    pass an empty tuple to skip it.  ``pool_kinds`` restricts the
+    uncached thread-vs-process scaling axis (default: both kinds).
     """
     from repro.obs.sampler import ResourceSampler
     from repro.obs.sampling_profiler import SamplingProfiler
@@ -151,6 +158,8 @@ def run_trajectory(out_path: str = "BENCH_engine.json",
         report["matrix"] = alternates
     if workers is None:
         workers = WORKERS_PARAMS["workers"]
+    if pool_kinds is None:
+        pool_kinds = WORKERS_PARAMS["pool_kinds"]
     if workers:
         report["workers"] = service_throughput_report(
             context.index,
@@ -160,6 +169,9 @@ def run_trajectory(out_path: str = "BENCH_engine.json",
             timeout=context.timeout,
             limit=context.limit,
             cache_size=WORKERS_PARAMS["cache_size"],
+            pool_kinds=tuple(pool_kinds),
+            pool_workers=WORKERS_PARAMS["pool_workers"],
+            burst_pending=WORKERS_PARAMS["burst_pending"],
         )
     Path(out_path).write_text(
         json.dumps(report, indent=2, sort_keys=True) + "\n",
@@ -181,10 +193,18 @@ def main(argv: "list[str] | None" = None) -> None:
                         help="QueryService pool sizes for the throughput "
                              "section (default: %s; pass no values to "
                              "skip)" % (WORKERS_PARAMS["workers"],))
+    parser.add_argument("--pool", nargs="*", default=None,
+                        choices=("threads", "processes"),
+                        metavar="KIND",
+                        help="serving tiers for the uncached pools axis "
+                             "(default: %s)" % (
+                                 " ".join(WORKERS_PARAMS["pool_kinds"]),))
     args = parser.parse_args(argv)
     meta = {"label": args.label} if args.label else None
     workers = None if args.workers is None else tuple(args.workers)
-    report = run_trajectory(args.out, meta=meta, workers=workers)
+    pool_kinds = None if args.pool is None else tuple(args.pool)
+    report = run_trajectory(args.out, meta=meta, workers=workers,
+                            pool_kinds=pool_kinds)
     overall = report["overall"]
     tails = overall["percentiles"]
     print(f"wrote {args.out}: {overall['count']} queries, "
@@ -225,12 +245,28 @@ def main(argv: "list[str] | None" = None) -> None:
         base = section["baseline"]
         print(f"  workers baseline (sequential, uncached): "
               f"{base['qps']:.1f} qps over {section['rounds']} rounds")
-        for key in sorted(section["pools"], key=int):
-            pool = section["pools"][key]
-            print(f"  workers={pool['workers']}: {pool['qps']:.1f} qps "
+        for key in sorted(section["cached"], key=int):
+            pool = section["cached"][key]
+            print(f"  cached threads={pool['workers']}: "
+                  f"{pool['qps']:.1f} qps "
                   f"({pool['speedup_vs_baseline']:.2f}x), "
                   f"cache hit rate {pool['cache_hit_rate']:.2f}, "
                   f"rejected={pool['rejected']}")
+        for kind in sorted(section["pools"]):
+            entries = section["pools"][kind]
+            for key in sorted(entries, key=int):
+                pool = entries[key]
+                eff = pool["scaling_efficiency"]
+                eff_txt = f"{eff:.2f}" if eff is not None else "n/a"
+                print(f"  uncached {kind}={pool['workers']}: "
+                      f"{pool['qps']:.1f} qps, "
+                      f"scaling efficiency {eff_txt}")
+        burst = section.get("burst")
+        if burst:
+            print(f"  burst (open-loop, max_pending="
+                  f"{burst['max_pending']}): {burst['offered']} offered, "
+                  f"{burst['accepted']} accepted, "
+                  f"{burst['rejected']} rejected")
 
 
 if __name__ == "__main__":

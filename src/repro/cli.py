@@ -173,17 +173,12 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 def _build_service(args: argparse.Namespace, metrics=None, slow_log=None,
                    query_log=None):
-    from repro.serve import QueryService
+    from repro.serve import ProcessQueryService, QueryService
 
     index = _load_index(args.graph, args.symmetric)
     backend = getattr(args, "backend", "ring")
-    engine = None
-    if backend != "ring":
-        # The service's slow log stays authoritative; the engine is
-        # built without one (same division as the default ring path).
-        engine = make_engine(backend, index)
-    return QueryService(
-        index,
+    pool = getattr(args, "pool", "threads")
+    common = dict(
         workers=args.workers,
         max_pending=args.max_pending,
         cache_size=args.cache_size,
@@ -192,8 +187,24 @@ def _build_service(args: argparse.Namespace, metrics=None, slow_log=None,
         metrics=metrics,
         slow_log=slow_log,
         query_log=query_log,
-        engine=engine,
     )
+    if pool == "processes":
+        if backend != "ring":
+            raise SystemExit(
+                "--pool processes serves the ring engine only; "
+                f"--backend {backend} needs --pool threads"
+            )
+        return ProcessQueryService(
+            index,
+            start_method=getattr(args, "start_method", None),
+            **common,
+        )
+    engine = None
+    if backend != "ring":
+        # The service's slow log stays authoritative; the engine is
+        # built without one (same division as the default ring path).
+        engine = make_engine(backend, index)
+    return QueryService(index, engine=engine, **common)
 
 
 class _TelemetryPlane:
@@ -486,6 +497,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="evaluation backend: the ring engine, the "
                              "sparse-matrix engine, or the per-query "
                              "cost-model router")
+        sp.add_argument("--pool", default="threads",
+                        choices=["threads", "processes"],
+                        help="serving tier: worker threads sharing the "
+                             "in-process index, or worker processes "
+                             "attaching one shared-memory snapshot "
+                             "(GIL-free; ring backend only)")
+        sp.add_argument("--start-method", default=None,
+                        choices=["fork", "spawn", "forkserver"],
+                        help="multiprocessing start method for "
+                             "--pool processes (default: platform)")
         sp.add_argument("--max-pending", type=int, default=64,
                         help="admission bound on queued+executing queries")
         sp.add_argument("--cache-size", type=int, default=128,

@@ -24,10 +24,17 @@ class RegexSyntaxError(ReproError):
     """
 
     def __init__(self, message: str, position: int | None = None):
+        self.raw_message = message
         if position is not None:
             message = f"{message} (at position {position})"
         super().__init__(message)
         self.position = position
+
+    def __reduce__(self):
+        # Default pickling replays __init__ with the *composed* message
+        # (args), which would re-append the position suffix and lose
+        # ``position``; replay with the original constructor arguments.
+        return (type(self), (self.raw_message, self.position))
 
 
 class UnknownSymbolError(ReproError):
@@ -37,6 +44,11 @@ class UnknownSymbolError(ReproError):
         super().__init__(f"unknown {kind}: {symbol!r}")
         self.kind = kind
         self.symbol = symbol
+
+    def __reduce__(self):
+        # args hold the composed message, not (kind, symbol): replay
+        # the real constructor so the error pickles across processes.
+        return (type(self), (self.kind, self.symbol))
 
 
 class QueryTimeoutError(ReproError):
@@ -48,6 +60,11 @@ class QueryTimeoutError(ReproError):
         )
         self.elapsed = elapsed
         self.budget = budget
+
+    def __reduce__(self):
+        # Replay the typed constructor args (not the composed message)
+        # so the error crosses the process boundary intact.
+        return (type(self), (self.elapsed, self.budget))
 
 
 class QueryCancelledError(ReproError):
@@ -63,6 +80,11 @@ class QueryCancelledError(ReproError):
     def __init__(self, elapsed: float):
         super().__init__(f"query cancelled after {elapsed:.3f}s")
         self.elapsed = elapsed
+
+    def __reduce__(self):
+        # Replay the typed constructor args (not the composed message)
+        # so the error crosses the process boundary intact.
+        return (type(self), (self.elapsed,))
 
 
 class OverloadedError(ReproError):
@@ -85,6 +107,37 @@ class OverloadedError(ReproError):
         self.capacity = capacity
         self.retry_after = retry_after
 
+    def __reduce__(self):
+        # Replay the typed constructor args (not the composed message)
+        # so the error crosses the process boundary intact.
+        return (
+            type(self),
+            (self.reason, self.pending, self.capacity, self.retry_after),
+        )
+
+
+class WorkerCrashedError(ReproError):
+    """A serving worker process died while running (or queued for) a query.
+
+    Raised into the affected :class:`~repro.serve.service.Ticket` by
+    :class:`~repro.serve.ProcessQueryService` when a worker exits
+    without delivering a result (segfault, OOM kill, ``kill -9``).  The
+    pool respawns the worker; the query itself is *not* retried —
+    callers that want retry semantics resubmit, exactly like after an
+    :class:`OverloadedError`.
+    """
+
+    def __init__(self, worker: str, exitcode: int | None = None):
+        detail = f" (exit code {exitcode})" if exitcode is not None else ""
+        super().__init__(f"worker {worker} crashed{detail}")
+        self.worker = worker
+        self.exitcode = exitcode
+
+    def __reduce__(self):
+        # Replay the typed constructor args (not the composed message)
+        # so the error crosses the process boundary intact.
+        return (type(self), (self.worker, self.exitcode))
+
 
 class ResultLimitExceeded(ReproError):
     """Query produced more results than the configured cap.
@@ -98,6 +151,11 @@ class ResultLimitExceeded(ReproError):
     def __init__(self, limit: int):
         super().__init__(f"result limit of {limit} rows exceeded")
         self.limit = limit
+
+    def __reduce__(self):
+        # Replay the typed constructor args (not the composed message)
+        # so the error crosses the process boundary intact.
+        return (type(self), (self.limit,))
 
 
 class ConstructionError(ReproError):

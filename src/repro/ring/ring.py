@@ -195,6 +195,40 @@ class Ring:
                 compressed_boundaries,
             )
 
+    @classmethod
+    def from_parts(
+        cls,
+        L_p: WaveletMatrix,
+        C_o: BoundaryArray,
+        L_s: WaveletMatrix,
+        C_p: BoundaryArray,
+        n: int,
+        num_nodes: int,
+        num_predicates: int,
+        L_o: "WaveletMatrix | None" = None,
+        C_s: "BoundaryArray | None" = None,
+    ) -> "Ring":
+        """Reassemble a ring from prebuilt columns and boundaries.
+
+        The *view* construction path of the snapshot plane
+        (:mod:`repro.ring.snapshot`): the columns are typically
+        :meth:`WaveletMatrix.from_parts` views over one shared-memory
+        segment, so no sorting, packing or copying happens here — this
+        is how N worker processes serve one physical index copy.
+        """
+        self = cls.__new__(cls)
+        self._n = int(n)
+        self._num_nodes = int(num_nodes)
+        self._num_preds = int(num_predicates)
+        self.obs = NULL_METRICS
+        self.L_p = L_p
+        self.C_o = C_o
+        self.L_s = L_s
+        self.C_p = C_p
+        self.L_o = L_o
+        self.C_s = C_s
+        return self
+
     # ------------------------------------------------------------------
     # Basic facts
     # ------------------------------------------------------------------

@@ -19,11 +19,13 @@ from repro.serve.keys import (
     normalize_expr,
     query_cache_key,
 )
+from repro.serve.pool import ProcessQueryService
 from repro.serve.service import QueryService, Ticket
 
 __all__ = [
     "AdmissionController",
     "CacheEntry",
+    "ProcessQueryService",
     "QueryService",
     "ResultCache",
     "Ticket",

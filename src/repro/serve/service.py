@@ -59,8 +59,8 @@ class Ticket:
     """
 
     __slots__ = ("query_id", "query", "timeout", "limit", "deadline",
-                 "submitted_at", "cancel_event", "_done", "_result",
-                 "_error")
+                 "submitted_at", "cancel_event", "_on_cancel", "_done",
+                 "_result", "_error")
 
     def __init__(self, query_id: str, query: RPQ,
                  timeout: float | None, limit: int | None,
@@ -72,6 +72,11 @@ class Ticket:
         self.deadline = deadline
         self.submitted_at = time.monotonic()
         self.cancel_event = threading.Event()
+        # Forwarding hook for executors whose cancel signal lives
+        # outside this process (the process tier points it at the
+        # running worker's shared cancel sequence).  Set by the
+        # dispatching thread, invoked from whichever thread cancels.
+        self._on_cancel = None
         self._done = threading.Event()
         self._result: QueryResult | None = None
         self._error: BaseException | None = None
@@ -79,6 +84,9 @@ class Ticket:
     def cancel(self) -> None:
         """Request cooperative cancellation."""
         self.cancel_event.set()
+        hook = self._on_cancel
+        if hook is not None:
+            hook()
 
     @property
     def cancelled(self) -> bool:
@@ -477,6 +485,21 @@ class QueryService:
             timeout = (
                 remaining if timeout is None else min(timeout, remaining)
             )
+        result = self._run_engine(ticket, timeout, local, worker_id)
+        if result.stats.timed_out:
+            # Degradation contract: deadline/timeout expiry returns the
+            # partial answer tagged truncated, never an error.
+            result.stats.truncated = True
+        return result
+
+    def _run_engine(self, ticket: Ticket, timeout: float | None,
+                    local, worker_id: int):
+        """Run one admitted, deadline-clamped query to a result.
+
+        The thread tier calls the shared engine in-process; the
+        process tier (:class:`~repro.serve.pool.ProcessQueryService`)
+        overrides this with an RPC to its worker process.
+        """
         span = None
         spans = local.spans if local.enabled else None
         if spans is not None:
@@ -502,10 +525,6 @@ class QueryService:
                 spans.end(span)
         if span is not None:
             span.set(n_results=len(result.pairs))
-        if result.stats.timed_out:
-            # Degradation contract: deadline/timeout expiry returns the
-            # partial answer tagged truncated, never an error.
-            result.stats.truncated = True
         return result
 
     def _finish(self, key, ticket, result, local, worker_id: int,

@@ -80,6 +80,57 @@ class BitVector:
     # ------------------------------------------------------------------
 
     @classmethod
+    def from_packed(cls, words_ext: np.ndarray, cum64: np.ndarray,
+                    n: int) -> "BitVector":
+        """Wrap externally owned packed buffers without copying.
+
+        This is the *view* construction path used by the shared-memory
+        snapshot plane (:mod:`repro.ring.snapshot`): ``words_ext`` is
+        the ``uint64`` payload **plus one zero sentinel word** and
+        ``cum64`` the ``int64`` rank directory — exactly the
+        :meth:`batch_data` shapes, so the vectorized kernels run
+        directly on the caller's buffers (typically views over one
+        ``multiprocessing.shared_memory`` segment or an ``mmap``-ed
+        file).  The Python-int mirrors that back the scalar hot paths
+        are materialised lazily on first scalar access, so a worker
+        that only runs the batched kernels never pays for (or
+        duplicates) them.
+
+        The buffers must be treated as immutable; nothing is validated
+        beyond the length arithmetic.
+        """
+        if len(words_ext) != len(cum64):
+            raise InvariantViolation(
+                "words_ext must carry exactly one sentinel word "
+                f"({len(words_ext)} words vs {len(cum64)} directory entries)"
+            )
+        self = cls.__new__(cls)
+        self._n = int(n)
+        self._words = words_ext[:-1]
+        self._cum = cum64
+        self._cum64 = cum64
+        self._words_ext = words_ext
+        # _words_py / _cum_py deliberately left unset: __getattr__
+        # materialises them on first scalar-path access.
+        return self
+
+    def __getattr__(self, name: str):
+        # Only reachable while a slot is still unset (slot descriptors
+        # win once assigned): build the scalar-path mirrors lazily for
+        # view-constructed bitvectors.
+        if name == "_words_py":
+            mirror = self._words.tolist()
+            self._words_py = mirror
+            return mirror
+        if name == "_cum_py":
+            mirror = self._cum.tolist()
+            self._cum_py = mirror
+            return mirror
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    @classmethod
     def from_indices(cls, n: int, ones: Iterable[int]) -> "BitVector":
         """Build a length-``n`` bitvector with 1s at the given positions."""
         bit_array = np.zeros(n, dtype=np.uint8)

@@ -165,6 +165,43 @@ class WaveletMatrix:
         self._bottom_start = bottom_start
         self._batch_cache: tuple | None = None
 
+    @classmethod
+    def from_parts(
+        cls,
+        levels: "list[BitVector]",
+        n: int,
+        sigma: int,
+        counts: np.ndarray,
+        class_cum: np.ndarray,
+        bottom_start: np.ndarray,
+    ) -> "WaveletMatrix":
+        """Reassemble a wavelet matrix from prebuilt components.
+
+        The *view* construction path of the snapshot plane: ``levels``
+        are (typically :meth:`BitVector.from_packed`-constructed) level
+        bitvectors and the three per-symbol tables are externally owned
+        ``int64`` arrays — nothing is copied or recomputed except the
+        per-level zero counts, which are O(height) reads off the rank
+        directories.  All arrays must be treated as immutable.
+        """
+        height = max(1, (int(sigma) - 1).bit_length())
+        if len(levels) != height:
+            raise ConstructionError(
+                f"expected {height} levels for sigma={sigma}, "
+                f"got {len(levels)}"
+            )
+        self = cls.__new__(cls)
+        self._n = int(n)
+        self._sigma = int(sigma)
+        self._height = height
+        self._levels = list(levels)
+        self._zeros = [bv.num_zeros for bv in levels]
+        self._counts = counts
+        self._class_cum = class_cum
+        self._bottom_start = bottom_start
+        self._batch_cache = None
+        return self
+
     # ------------------------------------------------------------------
     # Basic facts
     # ------------------------------------------------------------------

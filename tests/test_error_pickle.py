@@ -1,0 +1,87 @@
+"""Typed errors must survive the process boundary.
+
+The process-pool serving tier ships exceptions through a
+``multiprocessing`` pipe, so every error the engine or serve layer can
+raise must pickle-roundtrip *with its typed attributes intact*.  The
+historical failure mode: default pickling replays ``__init__`` with
+``args`` — the *composed* message — which for multi-argument
+constructors either blows up (``OverloadedError`` missing positionals,
+``QueryCancelledError`` formatting a string as a float) or silently
+drops fields (``RegexSyntaxError`` re-appending the position suffix
+and losing ``position``).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import (
+    ConstructionError,
+    InvariantViolation,
+    OverloadedError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    RegexSyntaxError,
+    ReproError,
+    ResultLimitExceeded,
+    UnknownSymbolError,
+    WorkerCrashedError,
+)
+
+CASES = [
+    (RegexSyntaxError("unbalanced parenthesis", 7),
+     {"position": 7, "raw_message": "unbalanced parenthesis"}),
+    (RegexSyntaxError("unexpected end of input"),
+     {"position": None}),
+    (UnknownSymbolError("predicate", "knows"),
+     {"kind": "predicate", "symbol": "knows"}),
+    (QueryTimeoutError(1.25, 1.0),
+     {"elapsed": 1.25, "budget": 1.0}),
+    (QueryCancelledError(0.5),
+     {"elapsed": 0.5}),
+    (OverloadedError("queue full", 64, 64, retry_after=0.1),
+     {"reason": "queue full", "pending": 64, "capacity": 64,
+      "retry_after": 0.1}),
+    (WorkerCrashedError("repro-serve-proc-3", -9),
+     {"worker": "repro-serve-proc-3", "exitcode": -9}),
+    (WorkerCrashedError("repro-serve-proc-0"),
+     {"exitcode": None}),
+    (ResultLimitExceeded(100_000),
+     {"limit": 100_000}),
+    (ConstructionError("empty graph"), {}),
+    (InvariantViolation("rank directory is stale"), {}),
+    (ReproError("generic"), {}),
+]
+
+
+@pytest.mark.parametrize(
+    "error, attrs", CASES, ids=lambda c: type(c).__name__
+    if isinstance(c, BaseException) else ""
+)
+def test_roundtrip_preserves_type_message_and_attrs(error, attrs):
+    clone = pickle.loads(pickle.dumps(error))
+    assert type(clone) is type(error)
+    assert str(clone) == str(error)
+    for name, value in attrs.items():
+        assert getattr(clone, name) == value, name
+
+
+def test_budget_tagged_partial_result_roundtrips(kg_index):
+    """A truncated/timed-out partial ``QueryResult`` — what a worker
+    ships for a query that hit its budget — pickles whole: pairs,
+    flags, and the operation-counter stream."""
+    from repro.core.engine import RingRPQEngine
+
+    engine = RingRPQEngine(kg_index, prepare_cache_size=0)
+    truncated = engine.evaluate("(?x, (p0|p1)*, ?y)", timeout=60, limit=5)
+    assert truncated.stats.truncated
+    timed_out = engine.evaluate("(?x, (p0|p1)*, ?y)", timeout=0.0)
+    for result in (truncated, timed_out):
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.pairs == result.pairs
+        assert clone.stats.truncated == result.stats.truncated
+        assert clone.stats.timed_out == result.stats.timed_out
+        assert (clone.stats.operation_counts()
+                == result.stats.operation_counts())

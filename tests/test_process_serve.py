@@ -1,0 +1,193 @@
+"""The process-pool serving tier (``repro.serve.pool``).
+
+The load-bearing property is the cross-process differential: a query
+served by :class:`ProcessQueryService` — evaluated in a worker process
+against the shared-memory snapshot — must be *bit-identical* to the
+in-process engine over the built index, pairs AND operation counters
+(both sides pin ``prepare_cache_size=0`` so counter streams line up).
+Around that: the full harness contract through the pool, worker-crash
+recovery, spawn-method smoke, and segment/gauge lifecycle.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from tests.harness import check_query, iter_corpus
+from repro.core.engine import RingRPQEngine
+from repro.errors import WorkerCrashedError
+from repro.obs.metrics import Metrics
+from repro.ring.builder import RingIndex
+from repro.serve.pool import ProcessQueryService
+
+pytestmark = pytest.mark.concurrency
+
+WORKLOAD = [
+    "(?x, p0, ?y)",
+    "(?x, ^p1, ?y)",
+    "(?x, p0/p1, ?y)",
+    "(?x, (p0|p2)+, ?y)",
+    "(?x, p3*/p1, ?y)",
+    "(?x, p2?/^p0, ?y)",
+    "(?x, (p0/p1)|(p2/p3), ?y)",
+    "(?x, p1+, ?y)",
+]
+
+
+def _sequential(index, queries, limit=None):
+    engine = RingRPQEngine(index, prepare_cache_size=0)
+    out = []
+    for query in queries:
+        result = engine.evaluate(query, timeout=60, limit=limit)
+        out.append((sorted(result.pairs),
+                    result.stats.operation_counts(),
+                    result.stats.truncated))
+    return out
+
+
+def _pool(index, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("cache_size", 0)
+    kwargs.setdefault("engine_kwargs", {"prepare_cache_size": 0})
+    return ProcessQueryService(index, **kwargs)
+
+
+class _ServiceBackend:
+    """Adapter exposing the harness's engine calling convention
+    (explicit ``timeout``/``limit`` parameters) over a service."""
+
+    def __init__(self, service):
+        self._service = service
+
+    def evaluate(self, query, timeout=None, limit=None):
+        return self._service.evaluate(query, timeout=timeout, limit=limit)
+
+
+def test_differential_vs_in_process(kg_index):
+    expected = _sequential(kg_index, WORKLOAD)
+    with _pool(kg_index) as service:
+        results = service.run(WORKLOAD, timeout=60)
+    got = [(sorted(r.pairs), r.stats.operation_counts(),
+            r.stats.truncated) for r in results]
+    assert got == expected
+
+
+def test_differential_with_limit(kg_index):
+    expected = _sequential(kg_index, WORKLOAD, limit=25)
+    with _pool(kg_index) as service:
+        results = service.run(WORKLOAD, timeout=60, limit=25)
+    got = [(sorted(r.pairs), r.stats.operation_counts(),
+            r.stats.truncated) for r in results]
+    assert got == expected
+
+
+def test_harness_contract_over_corpus():
+    """The full differential contract (oracle equivalence, limit
+    boundaries, budget tagging), served through worker processes, for
+    every regression-corpus case."""
+    ran = 0
+    for name, graph, queries in iter_corpus():
+        index = RingIndex.from_graph(graph)
+        with _pool(index) as service:
+            engines = {
+                "ring": RingRPQEngine(index),
+                "process-pool": _ServiceBackend(service),
+            }
+            for query in queries:
+                check_query(graph, query, engines=engines,
+                            context=f"corpus:{name}")
+                ran += 1
+    assert ran > 0
+
+
+def test_spawn_start_method(kg_index):
+    """Spawn workers re-import the package and attach the segment by
+    name — no inherited state."""
+    expected = _sequential(kg_index, WORKLOAD[:2])
+    with _pool(kg_index, workers=1, start_method="spawn") as service:
+        assert service.stats()["pool"]["start_method"] == "spawn"
+        results = service.run(WORKLOAD[:2], timeout=60)
+    got = [(sorted(r.pairs), r.stats.operation_counts(),
+            r.stats.truncated) for r in results]
+    assert got == expected
+
+
+def test_worker_crash_respawns_and_types_the_error(kg_index):
+    obs = Metrics()
+    service = _pool(kg_index, metrics=obs)
+    try:
+        service.evaluate(WORKLOAD[0], timeout=60)  # warm: all live
+        for slot in service._slots:
+            slot.proc.kill()
+            slot.proc.join(5.0)
+        # A query dispatched at a not-yet-detected dead worker fails
+        # once with the typed error; the pool respawns behind it, so a
+        # resubmit lands on a live worker.
+        result = None
+        for _ in range(3):
+            try:
+                result = service.evaluate(WORKLOAD[1], timeout=60)
+                break
+            except WorkerCrashedError as err:
+                assert "repro-serve-proc-" in str(err)
+        assert result is not None
+        (pairs, counts, truncated), = _sequential(
+            kg_index, WORKLOAD[1:2]
+        )
+        assert sorted(result.pairs) == pairs
+        stats = service.stats()["pool"]
+        assert stats["restarts"] >= 2
+        assert stats["live_workers"] == 2
+        assert obs.count("serve.pool.worker_crashes") >= 2
+        assert obs.gauge("serve.pool.restarts") == stats["restarts"]
+    finally:
+        service.close()
+
+
+def test_cancel_midflight_is_well_formed(kg_index):
+    """A cancel racing a running query yields either a ``cancelled``
+    partial or the complete answer — never a silent wrong set."""
+    (pairs, _, _), = _sequential(kg_index, ["(?x, (p0|p1|p2)*, ?y)"])
+    with _pool(kg_index) as service:
+        ticket = service.submit("(?x, (p0|p1|p2)*, ?y)", timeout=60)
+        service.cancel(ticket.query_id)
+        result = ticket.result()
+    if result.stats.cancelled:
+        assert set(result.pairs) <= set(pairs)
+    else:
+        assert sorted(result.pairs) == pairs
+
+
+def test_close_releases_segment_and_zeroes_gauges(kg_index):
+    obs = Metrics()
+    service = _pool(kg_index, metrics=obs)
+    name = service._shared.name
+    seg = pathlib.Path("/dev/shm") / name
+    service.evaluate(WORKLOAD[0], timeout=60)
+    assert obs.gauge("serve.pool.workers") == 2
+    assert obs.gauge("serve.pool.shm_bytes") == service._shared.nbytes
+    if seg.parent.is_dir():
+        assert seg.exists()
+    service.close()
+    service.close()  # idempotent
+    if seg.parent.is_dir():
+        assert not seg.exists(), "shared segment leaked after close()"
+    for gauge in ("serve.pool.workers", "serve.pool.restarts",
+                  "serve.pool.shm_bytes", "serve.queue_depth",
+                  "serve.inflight"):
+        assert obs.gauge(gauge) == 0, gauge
+    assert all(
+        slot is None or not slot.proc.is_alive()
+        for slot in service._slots
+    )
+
+
+def test_stats_reports_pool_axis(kg_index):
+    with _pool(kg_index) as service:
+        stats = service.stats()["pool"]
+        assert stats["kind"] == "processes"
+        assert stats["live_workers"] == 2
+        assert stats["shm_bytes"] > 0
+        assert stats["restarts"] == 0
