@@ -3,12 +3,13 @@
 Starts a :class:`~repro.serve.QueryService` over a synthetic knowledge
 graph with every telemetry component attached — shared metrics
 registry, slow log, JSON-lines query log, resource sampler, sampling
-profiler and the background HTTP endpoint — then drives a workload
-while scraping ``/metrics``, ``/healthz`` and ``/debug/vars`` over
-real HTTP exactly as a Prometheus agent would.  Asserts on everything
-it scrapes, so CI can run it as the serving-plane smoke test, and
-finally writes the profiler's collapsed stacks for flamegraph
-tooling.
+profiler, flight recorder and the background HTTP endpoint — then
+drives a workload while scraping ``/metrics``, ``/healthz``,
+``/debug/vars`` and ``/debug/flight`` over real HTTP exactly as a
+Prometheus agent would.  Asserts on everything it scrapes, so CI can
+run it as the serving-plane smoke test, and finally writes the
+profiler's collapsed stacks for flamegraph tooling plus the flight
+recorder's audit-ring dump.
 
 Run with::
 
@@ -27,6 +28,7 @@ from repro import RingIndex
 from repro.bench.workload import generate_query_log
 from repro.graph.generators import wikidata_like
 from repro.obs import (
+    FlightRecorder,
     Metrics,
     QueryLogWriter,
     ResourceSampler,
@@ -53,6 +55,9 @@ def main() -> None:
     parser.add_argument("--out", default=None,
                         help="collapsed-stacks output path "
                              "(default: <tmp>/live_telemetry.collapsed)")
+    parser.add_argument("--flight", type=int, default=48,
+                        help="flight-recorder capacity (last N settled "
+                             "queries' audit records)")
     args = parser.parse_args()
 
     graph = wikidata_like(
@@ -74,9 +79,10 @@ def main() -> None:
     slow_log = SlowQueryLog(capacity=8)
     query_log = QueryLogWriter(log_path)
     profiler = SamplingProfiler()
+    flight = FlightRecorder(args.flight)
     service = QueryService(
         index, workers=args.workers, cache_size=128, metrics=metrics,
-        slow_log=slow_log, query_log=query_log,
+        slow_log=slow_log, query_log=query_log, flight=flight,
     )
     sampler = ResourceSampler(
         metrics=metrics, lock=service.obs_lock, interval=0.02,
@@ -85,6 +91,7 @@ def main() -> None:
     httpd = TelemetryServer(
         metrics, lock=service.obs_lock, service=service,
         sampler=sampler, profiler=profiler, slow_log=slow_log,
+        flight=flight,
     )
 
     with service, sampler, httpd:
@@ -130,6 +137,28 @@ def main() -> None:
         print(f"/debug/vars ok: {len(snapshot['timeseries']['series'])} "
               f"time series, peak RSS {rss_series['max'] / 1e6:.1f} MB, "
               f"profiler samples {snapshot['profile']['samples']}")
+
+        # -- /debug/flight: the audit ring over real HTTP.  Every
+        # settled query left an audit record; the ring keeps the last
+        # N of them, each decomposing its latency into stages that
+        # telescope back to the end-to-end total.
+        flight_dump = json.loads(scrape(httpd.url + "/debug/flight"))
+        assert flight_dump["capacity"] == args.flight, flight_dump
+        assert flight_dump["total_recorded"] == len(queries)
+        ring = flight_dump["records"]
+        assert len(ring) == min(args.flight, len(queries))
+        for record in ring:
+            stage_sum = sum(record["stages"].values())
+            assert abs(stage_sum - record["total_seconds"]) <= max(
+                0.05 * record["total_seconds"], 1e-6
+            ), record
+        flight_path = out.with_suffix(".flight.json")
+        flight_path.write_text(
+            json.dumps(flight_dump, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"/debug/flight ok: {len(ring)} of "
+              f"{flight_dump['total_recorded']} audit records retained "
+              f"({flight_dump['dropped']} dropped); dump at {flight_path}")
 
         # -- query-id correlation: one id joins every record stream.
         records = read_query_log(log_path)

@@ -326,7 +326,8 @@ def write_engine_bench_json(
 
 
 def _make_pool_service(kind: str, index, workers: int, max_pending: int,
-                       cache_size: int, timeout, limit):
+                       cache_size: int, timeout, limit,
+                       metrics=None, flight=None):
     from repro.serve import ProcessQueryService, QueryService
 
     if kind == "threads":
@@ -342,6 +343,8 @@ def _make_pool_service(kind: str, index, workers: int, max_pending: int,
         cache_size=cache_size,
         default_timeout=timeout,
         default_limit=limit,
+        metrics=metrics,
+        flight=flight,
     )
 
 
@@ -499,6 +502,97 @@ def service_throughput_report(
             "accepted": len(accepted),
             "rejected": rejected,
             "elapsed_seconds": time.perf_counter() - t0,
+        }
+    return report
+
+
+def stage_decomposition_report(
+    index,
+    queries: list[RPQ],
+    sample: int = 40,
+    timeout: "float | None" = None,
+    limit: "int | None" = 100_000,
+    workers: int = 2,
+    pool_kinds: tuple[str, ...] = ("threads", "processes"),
+) -> dict:
+    """Per-stage latency decomposition of both serving tiers.
+
+    Replays the first ``sample`` queries of the log through each
+    serving tier with the audit plane on (metrics registry + flight
+    recorder, cache disabled so every query pays the full path) and
+    reports, per tier, every ``serve.stage.*`` histogram as
+    mean/p50/p90 seconds plus its share of mean end-to-end latency.
+    The process tier's ``request_serialize`` + ``pipe_to_worker`` +
+    ``reply_transfer`` stages sum to ``ipc_overhead_mean_seconds`` —
+    the per-query price of crossing the process boundary, which is
+    what the thread-vs-process decision in ``docs/serving.md`` trades
+    against GIL-free execution.
+
+    Stage durations are telescoping differences of one monotonic
+    timeline, so per query they sum to the end-to-end latency exactly;
+    ``stage_sum_over_e2e`` reports the aggregate ratio as a built-in
+    self-check (1.0 up to clock-skew clamping).
+    """
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.metrics import Metrics
+
+    texts = [str(query) for query in queries[:sample]]
+    report: dict = {
+        "sample_queries": len(texts),
+        "workers": workers,
+        "note": (
+            "stage means are single-machine numbers; on a single-core "
+            "runner the process tier's execute stage also absorbs "
+            "scheduling delay, so compare the IPC overhead stages, "
+            "not absolute execute time, across environments"
+        ),
+        "tiers": {},
+    }
+    for kind in pool_kinds:
+        registry = Metrics()
+        flight = FlightRecorder(len(texts) or 1)
+        service = _make_pool_service(
+            kind, index, workers, max(64, len(texts) + workers),
+            0, timeout, limit, metrics=registry, flight=flight,
+        )
+        try:
+            for text in texts:
+                service.evaluate(text)
+        finally:
+            service.close()
+        e2e = registry.histogram("serve.e2e_seconds")
+        e2e_mean = (e2e.total / e2e.count) if e2e and e2e.count else 0.0
+        stages: dict[str, dict] = {}
+        stage_mean_sum = 0.0
+        for name in sorted(registry.histograms):
+            if not name.startswith("serve.stage."):
+                continue
+            hist = registry.histograms[name]
+            mean = hist.total / hist.count if hist.count else 0.0
+            stage_mean_sum += hist.total
+            summary = hist.summary()
+            stages[name[len("serve.stage."):]] = {
+                "count": hist.count,
+                "mean_seconds": mean,
+                "p50_seconds": summary["p50"],
+                "p90_seconds": summary["p90"],
+                "share_of_e2e": (mean / e2e_mean) if e2e_mean else 0.0,
+            }
+        ipc = sum(
+            stages[stage]["mean_seconds"]
+            for stage in ("request_serialize", "pipe_to_worker",
+                          "reply_transfer")
+            if stage in stages
+        )
+        report["tiers"][kind] = {
+            "e2e_mean_seconds": e2e_mean,
+            "stages": stages,
+            "ipc_overhead_mean_seconds": ipc,
+            "ipc_overhead_share": (ipc / e2e_mean) if e2e_mean else 0.0,
+            "stage_sum_over_e2e": (
+                stage_mean_sum / (e2e.total or 1.0) if e2e else 0.0
+            ),
+            "flight_recorded": flight.total_recorded,
         }
     return report
 

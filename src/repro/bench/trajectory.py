@@ -25,6 +25,7 @@ from repro.bench.runner import (
     engine_bench_report,
     run_benchmark,
     service_throughput_report,
+    stage_decomposition_report,
 )
 
 #: The pinned trajectory scale — change it only deliberately, because
@@ -53,6 +54,14 @@ WORKERS_PARAMS = dict(
     pool_workers=(1, 2, 4),
     pool_kinds=("threads", "processes"),
     burst_pending=8,
+)
+
+#: The pinned audit-plane scale: how many log queries feed the
+#: per-stage latency decomposition of the ``stages`` section, and the
+#: pool size both tiers run at while decomposing.
+STAGES_PARAMS = dict(
+    sample=40,
+    workers=2,
 )
 
 
@@ -160,6 +169,18 @@ def run_trajectory(out_path: str = "BENCH_engine.json",
         workers = WORKERS_PARAMS["workers"]
     if pool_kinds is None:
         pool_kinds = WORKERS_PARAMS["pool_kinds"]
+    if pool_kinds:
+        # The per-request audit plane's trajectory: where a served
+        # query's latency goes, per tier, at the pinned sample scale.
+        report["stages"] = stage_decomposition_report(
+            context.index,
+            context.queries,
+            sample=STAGES_PARAMS["sample"],
+            timeout=context.timeout,
+            limit=context.limit,
+            workers=STAGES_PARAMS["workers"],
+            pool_kinds=tuple(pool_kinds),
+        )
     if workers:
         report["workers"] = service_throughput_report(
             context.index,
@@ -240,6 +261,23 @@ def main(argv: "list[str] | None" = None) -> None:
             print(f"  {name}: mean={overall['mean_seconds']:.4f}s "
                   f"p95={tails['p95']:.4f}s p99={tails['p99']:.4f}s "
                   f"timeouts={overall['timeouts']}")
+    stages = report.get("stages")
+    if stages:
+        for kind in sorted(stages["tiers"]):
+            tier = stages["tiers"][kind]
+            top = sorted(
+                tier["stages"].items(),
+                key=lambda item: -item[1]["mean_seconds"],
+            )[:3]
+            top_txt = ", ".join(
+                f"{name}={entry['share_of_e2e']:.0%}"
+                for name, entry in top
+            )
+            print(f"  stages {kind}: e2e mean "
+                  f"{tier['e2e_mean_seconds'] * 1e3:.2f}ms, "
+                  f"ipc overhead {tier['ipc_overhead_share']:.0%} "
+                  f"({tier['ipc_overhead_mean_seconds'] * 1e3:.2f}ms), "
+                  f"top: {top_txt}")
     section = report.get("workers")
     if section:
         base = section["baseline"]

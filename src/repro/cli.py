@@ -173,11 +173,13 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 def _build_service(args: argparse.Namespace, metrics=None, slow_log=None,
                    query_log=None):
+    from repro.obs.flight import FlightRecorder
     from repro.serve import ProcessQueryService, QueryService
 
     index = _load_index(args.graph, args.symmetric)
     backend = getattr(args, "backend", "ring")
     pool = getattr(args, "pool", "threads")
+    flight_capacity = getattr(args, "flight", 256)
     common = dict(
         workers=args.workers,
         max_pending=args.max_pending,
@@ -187,6 +189,8 @@ def _build_service(args: argparse.Namespace, metrics=None, slow_log=None,
         metrics=metrics,
         slow_log=slow_log,
         query_log=query_log,
+        flight=(FlightRecorder(flight_capacity)
+                if flight_capacity > 0 else None),
     )
     if pool == "processes":
         if backend != "ring":
@@ -253,6 +257,7 @@ class _TelemetryPlane:
                 sampler=self.sampler,
                 profiler=self.profiler,
                 slow_log=slow_log,
+                flight=getattr(service, "flight", None),
                 port=args.metrics_port,
             )
 
@@ -518,9 +523,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="predicates stored bidirectionally")
         sp.add_argument("--metrics-port", type=int, default=None,
                         metavar="PORT",
-                        help="expose /metrics, /healthz, /debug/vars and "
-                             "/debug/profile over HTTP on this port "
-                             "(0 picks an ephemeral port)")
+                        help="expose /metrics, /healthz, /debug/vars, "
+                             "/debug/profile and /debug/flight over HTTP "
+                             "on this port (0 picks an ephemeral port)")
+        sp.add_argument("--flight", type=int, default=256, metavar="N",
+                        help="flight-recorder capacity: keep the last N "
+                             "settled queries' audit records, served at "
+                             "/debug/flight and attached to worker-crash "
+                             "errors (0 disables; default 256)")
         sp.add_argument("--query-log", metavar="OUT.jsonl", default=None,
                         help="append one JSON line per settled query "
                              "(query_id-correlated) to this file")

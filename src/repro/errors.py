@@ -125,18 +125,26 @@ class WorkerCrashedError(ReproError):
     pool respawns the worker; the query itself is *not* retried —
     callers that want retry semantics resubmit, exactly like after an
     :class:`OverloadedError`.
+
+    When the service runs a flight recorder
+    (:class:`~repro.obs.flight.FlightRecorder`), ``flight`` carries the
+    recorder's tail at crash time — the audit records of the queries
+    that *preceded* the death, which is the post-mortem context an
+    aggregate counter cannot give.
     """
 
-    def __init__(self, worker: str, exitcode: int | None = None):
+    def __init__(self, worker: str, exitcode: int | None = None,
+                 flight: "list[dict] | None" = None):
         detail = f" (exit code {exitcode})" if exitcode is not None else ""
         super().__init__(f"worker {worker} crashed{detail}")
         self.worker = worker
         self.exitcode = exitcode
+        self.flight = flight or []
 
     def __reduce__(self):
         # Replay the typed constructor args (not the composed message)
         # so the error crosses the process boundary intact.
-        return (type(self), (self.worker, self.exitcode))
+        return (type(self), (self.worker, self.exitcode, self.flight))
 
 
 class ResultLimitExceeded(ReproError):

@@ -34,7 +34,18 @@ this subpackage makes that accounting first-class:
   JSON-lines logging of every settled query keyed by ``query_id``;
 * :mod:`repro.obs.httpd` — :class:`TelemetryServer`, the stdlib-only
   background HTTP server exposing ``/metrics``, ``/healthz``,
-  ``/debug/vars`` and ``/debug/profile`` while the service runs.
+  ``/debug/vars``, ``/debug/profile`` and ``/debug/flight`` while the
+  service runs;
+* :mod:`repro.obs.lifecycle` — :class:`QueryLifecycle`, the per-request
+  audit plane's ordered monotonic stage marks (submit → queue → worker
+  → settle) whose telescoping differences are the ``serve.stage.*``
+  latency decomposition;
+* :mod:`repro.obs.audit` — :func:`audit_record` / :func:`span_digest`,
+  the compact per-query audit record joining lifecycle stages, outcome
+  flags, backend, cache verdict and a span-tree digest;
+* :mod:`repro.obs.flight` — :class:`FlightRecorder`, the always-on
+  bounded ring of the last N settled queries' audit records
+  (``/debug/flight``, worker-crash post-mortem context).
 
 Operation *counters* of the engine itself (nodes visited vs pruned per
 §4.1–§4.3 phase) live in :class:`repro.core.result.QueryStats` and are
@@ -50,9 +61,12 @@ from repro.obs.instrument import (
     instrument_matrix,
     instrument_ring,
 )
+from repro.obs.audit import audit_record, span_digest
 from repro.obs.export import prometheus_text
+from repro.obs.flight import FlightRecorder
 from repro.obs.histogram import LogHistogram
 from repro.obs.httpd import TelemetryServer
+from repro.obs.lifecycle import QueryLifecycle
 from repro.obs.metrics import NULL_METRICS, Metrics, NullMetrics, TraceEvent
 from repro.obs.profile import ProfileReport, profile_query
 from repro.obs.querylog import QueryLogWriter, read_query_log
@@ -65,11 +79,13 @@ from repro.obs.timeseries import TimeSeries
 __all__ = [
     "CountingBitVector",
     "CountingWaveletMatrix",
+    "FlightRecorder",
     "LogHistogram",
     "Metrics",
     "NULL_METRICS",
     "NullMetrics",
     "ProfileReport",
+    "QueryLifecycle",
     "QueryLogWriter",
     "ResourceSampler",
     "SamplingProfiler",
@@ -80,6 +96,7 @@ __all__ = [
     "TelemetryServer",
     "TimeSeries",
     "TraceEvent",
+    "audit_record",
     "instrument_bitvector",
     "instrument_index",
     "instrument_matrix",
@@ -87,4 +104,5 @@ __all__ = [
     "profile_query",
     "prometheus_text",
     "read_query_log",
+    "span_digest",
 ]

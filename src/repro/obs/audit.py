@@ -1,0 +1,90 @@
+"""Audit records: the per-query unit the flight recorder retains.
+
+One settled query produces one compact JSON-ready dict joining every
+telemetry stream on ``query_id``: the lifecycle stage decomposition
+(:mod:`repro.obs.lifecycle`), the outcome flags and routed backend from
+:class:`~repro.core.result.QueryStats`, the cache verdict, the result
+count, and a *digest* of the span tree — enough shape to recognise the
+query's execution (span count, depth, per-name tallies of the top
+levels) without retaining the tree itself, which belongs in the slow
+log and would blow the flight ring's bounded-memory promise.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Span names tallied by :func:`span_digest` are cut at this depth;
+#: deeper levels (per-wave, per-ring-step spans) carry per-operation
+#: fan-out that would make the digest as big as the tree.
+_DIGEST_MAX_DEPTH = 2
+
+
+def span_digest(spans) -> "dict | None":
+    """A bounded summary of a :class:`~repro.obs.spans.SpanStack`.
+
+    Returns ``None`` for ``None``/empty stacks.  The digest is a few
+    scalars plus a small name→count table of the shallow levels — the
+    shape of the execution, not its contents.
+    """
+    if spans is None or len(spans) == 0:
+        return None
+    names: dict[str, int] = {}
+    total_seconds = 0.0
+    for span in spans.spans:
+        if span.depth == 0:
+            total_seconds += span.duration
+        if span.depth <= _DIGEST_MAX_DEPTH:
+            names[span.name] = names.get(span.name, 0) + 1
+    return {
+        "spans": len(spans) + spans.dropped,
+        "max_depth": spans.max_depth(),
+        "root_seconds": total_seconds,
+        "by_name": dict(sorted(names.items())),
+    }
+
+
+def audit_record(
+    ticket,
+    stats,
+    n_results: int,
+    engine: str,
+    cache_hit: bool = False,
+    worker_id: "int | None" = None,
+    spans=None,
+    error: "BaseException | None" = None,
+) -> dict:
+    """Build one flight-recorder record for a settled query.
+
+    ``ticket`` is a :class:`~repro.serve.service.Ticket` (its
+    ``lifecycle`` supplies the stage decomposition); ``stats`` a
+    :class:`~repro.core.result.QueryStats`.  Fields that do not apply
+    (no backend attribution, no spans, no error) are simply absent so
+    the ring stays compact.
+    """
+    lifecycle = ticket.lifecycle
+    record: dict = {
+        "ts": time.time(),
+        "query_id": ticket.query_id,
+        "query": str(ticket.query),
+        "engine": engine,
+        "n_results": n_results,
+        "cache_hit": cache_hit,
+        "stages": lifecycle.stage_durations(),
+        "total_seconds": lifecycle.total(),
+        "engine_seconds": stats.elapsed,
+    }
+    if stats.backend:
+        record["backend"] = stats.backend
+    for flag in ("timed_out", "truncated", "cancelled"):
+        if getattr(stats, flag, False):
+            record[flag] = True
+    if worker_id is not None:
+        record["worker"] = worker_id
+    digest = span_digest(spans)
+    if digest is not None:
+        record["span_digest"] = digest
+    if error is not None:
+        record["error"] = type(error).__name__
+        record["error_detail"] = str(error)
+    return record

@@ -9,7 +9,10 @@ snapshot dict) into that format:
 * gauges        → ``<prefix>_<name>``  (TYPE gauge)
 * phase seconds → ``<prefix>_phase_seconds_total{phase="..."}``
 * histograms    → ``<prefix>_<name>`` with cumulative ``_bucket{le=}``
-  series plus ``_sum`` and ``_count`` (TYPE histogram)
+  series plus ``_sum`` and ``_count`` (TYPE histogram); buckets that
+  retained an exemplar render an OpenMetrics-style
+  ``# {query_id="q42"} value`` suffix, so a tail bucket links straight
+  to a concrete query in the flight recorder / query log
 
 Metric names are sanitised to ``[a-zA-Z_][a-zA-Z0-9_]*`` (dots and
 dashes become underscores), matching the exposition-format grammar.
@@ -42,16 +45,30 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
 def _histogram_lines(full_name: str, hist: LogHistogram) -> list[str]:
     lines = [
         f"# TYPE {full_name} histogram",
     ]
     cumulative = 0
-    for upper, count in hist.bucket_bounds():
+    exemplars = getattr(hist, "exemplars", None) or {}
+    for key, (upper, count) in zip(hist.bucket_keys(),
+                                   hist.bucket_bounds()):
         cumulative += count
-        lines.append(
+        line = (
             f'{full_name}_bucket{{le="{_format_value(upper)}"}} {cumulative}'
         )
+        exemplar = exemplars.get(key)
+        if exemplar is not None:
+            # OpenMetrics-style exemplar: the last query id observed in
+            # this bucket, so a p99 bucket links to a concrete query.
+            label, value = exemplar
+            line += (f' # {{query_id="{_escape_label(str(label))}"}} '
+                     f"{_format_value(value)}")
+        lines.append(line)
     lines.append(f'{full_name}_bucket{{le="+Inf"}} {hist.count}')
     lines.append(f"{full_name}_sum {_format_value(hist.total)}")
     lines.append(f"{full_name}_count {hist.count}")

@@ -37,7 +37,7 @@ class LogHistogram:
     """
 
     __slots__ = ("growth", "_log_growth", "buckets", "zeros",
-                 "count", "total", "min", "max")
+                 "count", "total", "min", "max", "exemplars")
 
     def __init__(self, growth: float = DEFAULT_GROWTH):
         if growth <= 1.0:
@@ -50,6 +50,12 @@ class LogHistogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        #: Last ``(label, value)`` observed per bucket (``None`` keys
+        #: the zero bucket).  Only populated when :meth:`observe` is
+        #: handed an exemplar label, so plain histograms pay nothing;
+        #: the Prometheus exporter renders these as OpenMetrics-style
+        #: exemplars, linking a tail bucket to a concrete query id.
+        self.exemplars: dict[int | None, tuple[str, float]] = {}
 
     @classmethod
     def of(cls, values: Iterable[float],
@@ -78,8 +84,13 @@ class LogHistogram:
             index += 1
         return index
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
+    def observe(self, value: float, exemplar: "str | None" = None) -> None:
+        """Record one observation.
+
+        ``exemplar`` (typically a query id) is retained as the bucket's
+        last-observed exemplar — the join key from a histogram bucket
+        back to the flight recorder, query log and slow log.
+        """
         value = float(value)
         self.count += 1
         self.total += value
@@ -89,10 +100,14 @@ class LogHistogram:
             self.max = value
         if value <= 0.0:
             self.zeros += 1
+            if exemplar is not None:
+                self.exemplars[None] = (exemplar, value)
             return
         buckets = self.buckets
         index = self.bucket_index(value)
         buckets[index] = buckets.get(index, 0) + 1
+        if exemplar is not None:
+            self.exemplars[index] = (exemplar, value)
 
     # ------------------------------------------------------------------
     # Queries
@@ -169,6 +184,14 @@ class LogHistogram:
             bounds.append((self.growth ** (index + 1), self.buckets[index]))
         return bounds
 
+    def bucket_keys(self) -> "list[int | None]":
+        """Bucket keys aligned with :meth:`bucket_bounds` (``None`` is
+        the zero bucket) — the exporter joins these against
+        :attr:`exemplars`."""
+        keys: list[int | None] = [None] if self.zeros else []
+        keys.extend(sorted(self.buckets))
+        return keys
+
     # ------------------------------------------------------------------
     # Aggregation / export
     # ------------------------------------------------------------------
@@ -185,6 +208,10 @@ class LogHistogram:
         self.zeros += other.zeros
         self.count += other.count
         self.total += other.total
+        # "Last observed per bucket": the merged-in histogram is the
+        # more recent recording, so its exemplars win on collision.
+        if other.exemplars:
+            self.exemplars.update(other.exemplars)
         if other.count:
             self.min = min(self.min, other.min)
             self.max = max(self.max, other.max)
@@ -198,6 +225,14 @@ class LogHistogram:
             [index, self.buckets[index]] for index in sorted(self.buckets)
         ]
         out["zeros"] = self.zeros
+        if self.exemplars:
+            out["exemplars"] = {
+                "zero" if index is None else str(index): [label, value]
+                for index, (label, value) in sorted(
+                    self.exemplars.items(),
+                    key=lambda kv: -1e18 if kv[0] is None else kv[0],
+                )
+            }
         return out
 
     def __len__(self) -> int:

@@ -14,7 +14,11 @@ exposes it *while the service runs*, over plain
   histogram percentile summaries, slow-log entries (query ids, no span
   trees), resource time series and profiler hot phases;
 * ``GET /debug/profile`` — the sampling profiler's collapsed stacks
-  (flamegraph format, ``text/plain``).
+  (flamegraph format, ``text/plain``);
+* ``GET /debug/flight`` — the flight recorder's ring of the last N
+  settled queries' audit records (lifecycle stage decomposition,
+  outcome flags, backend, cache verdict, span digest), each carrying
+  the ``query_id`` the histogram exemplars and query log join on.
 
 The server runs ``ThreadingHTTPServer.serve_forever`` on one daemon
 thread; request handlers take the shared registry lock only long
@@ -47,9 +51,10 @@ class TelemetryServer:
         The lock guarding it (e.g.
         :attr:`repro.serve.QueryService.obs_lock`); a private lock is
         created when omitted.
-    service / sampler / profiler / slow_log:
+    service / sampler / profiler / slow_log / flight:
         Optional live components; endpoints degrade gracefully (the
-        corresponding sections are simply absent) when missing.
+        corresponding sections are simply absent, ``/debug/flight``
+        answers 404) when missing.
     host / port:
         Bind address; ``port=0`` picks an ephemeral port.
     """
@@ -62,6 +67,7 @@ class TelemetryServer:
         sampler=None,
         profiler=None,
         slow_log=None,
+        flight=None,
         host: str = "127.0.0.1",
         port: int = 0,
         prefix: str = "repro",
@@ -72,6 +78,7 @@ class TelemetryServer:
         self.sampler = sampler
         self.profiler = profiler
         self.slow_log = slow_log
+        self.flight = flight
         self.prefix = prefix
         self.started_at = time.monotonic()
         self.requests = 0
@@ -192,6 +199,17 @@ class TelemetryServer:
             return ""
         return self.profiler.collapsed()
 
+    def render_flight(self) -> "dict | None":
+        """The ``/debug/flight`` JSON body (None without a recorder)."""
+        flight = self.flight
+        if flight is None and self.service is not None:
+            # The serve CLI wires the recorder into the service; pick
+            # it up from there so callers need not pass it twice.
+            flight = getattr(self.service, "flight", None)
+        if flight is None:
+            return None
+        return flight.snapshot()
+
     # ------------------------------------------------------------------
 
     def _make_handler(self):
@@ -230,6 +248,14 @@ class TelemetryServer:
                     elif path == "/debug/profile":
                         self._send(200, "text/plain; charset=utf-8",
                                    server.render_profile())
+                    elif path == "/debug/flight":
+                        body = server.render_flight()
+                        if body is None:
+                            self._send(404, "text/plain; charset=utf-8",
+                                       "no flight recorder attached\n")
+                        else:
+                            self._send(200, "application/json",
+                                       json.dumps(body, indent=2) + "\n")
                     elif path == "/":
                         index = "\n".join((
                             "repro telemetry endpoints:",
@@ -237,6 +263,7 @@ class TelemetryServer:
                             "  /healthz        liveness + load JSON",
                             "  /debug/vars     full JSON snapshot",
                             "  /debug/profile  collapsed stacks",
+                            "  /debug/flight   last-N query audit ring",
                         )) + "\n"
                         self._send(200, "text/plain; charset=utf-8", index)
                     else:

@@ -146,13 +146,19 @@ class Metrics:
     # ------------------------------------------------------------------
 
     def observe(self, name: str, value: float,
-                growth: float = DEFAULT_GROWTH) -> None:
-        """Record ``value`` into histogram ``name`` (created lazily)."""
+                growth: float = DEFAULT_GROWTH,
+                exemplar: "str | None" = None) -> None:
+        """Record ``value`` into histogram ``name`` (created lazily).
+
+        ``exemplar`` (a query id) is retained as the landing bucket's
+        last exemplar and rendered by the Prometheus exporter, so a
+        tail bucket links to a concrete query.
+        """
         histograms = self.histograms
         hist = histograms.get(name)
         if hist is None:
             hist = histograms[name] = LogHistogram(growth)
-        hist.observe(value)
+        hist.observe(value, exemplar)
 
     def histogram(self, name: str) -> LogHistogram | None:
         """Histogram ``name``, or ``None`` when nothing was observed."""
@@ -311,7 +317,8 @@ class NullMetrics:
         return default
 
     def observe(self, name: str, value: float,
-                growth: float = DEFAULT_GROWTH) -> None:
+                growth: float = DEFAULT_GROWTH,
+                exemplar: "str | None" = None) -> None:
         return None
 
     def histogram(self, name: str) -> None:

@@ -10,6 +10,13 @@ the default record (they multiply the line size ~10x and live in the
 slow log for the queries that matter); pass ``counters=True`` to
 include them anyway.
 
+Schema v2 (``schema_version: 2``) extends every line — all v1 fields
+kept — with the per-request audit plane's join keys: ``backend`` (which
+engine computed the answer), ``cache_hit``, and ``stages`` (the
+lifecycle stage-duration decomposition, see
+:mod:`repro.obs.lifecycle`), so one ``query_id`` joins the query log,
+the flight recorder and the histogram exemplars with no extra lookup.
+
 The writer is thread-safe (one lock around write+flush) and used by
 :class:`~repro.serve.QueryService` when constructed with
 ``query_log=`` — see ``repro serve --query-log``.
@@ -60,24 +67,32 @@ class QueryLogWriter:
         n_results: int = 0,
         wait_seconds: float | None = None,
         engine: str | None = None,
+        stages: "dict[str, float] | None" = None,
         **extra,
     ) -> dict:
         """Write one record; returns the dict that was written.
 
         ``stats`` is a :class:`~repro.core.result.QueryStats` (or any
-        object with the same flag/elapsed attributes).
+        object with the same flag/elapsed attributes); ``stages`` the
+        lifecycle stage-duration decomposition of the serving tiers
+        (absent for bare-engine callers).
         """
         record: dict = {
+            "schema_version": 2,
             "ts": self.clock(),
             "query_id": query_id,
             "query": query,
             "elapsed": stats.elapsed,
             "n_results": n_results,
+            "backend": getattr(stats, "backend", "") or (engine or ""),
+            "cache_hit": bool(getattr(stats, "cached", False)),
         }
         if engine is not None:
             record["engine"] = engine
         if wait_seconds is not None:
             record["wait_seconds"] = wait_seconds
+        if stages is not None:
+            record["stages"] = stages
         for flag in ("timed_out", "truncated", "cancelled", "cached"):
             if getattr(stats, flag, False):
                 record[flag] = True

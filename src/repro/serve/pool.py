@@ -12,10 +12,15 @@ Plumbing per worker:
 
 * a duplex :func:`multiprocessing.Pipe` carrying ``("run", seq,
   query_id, query, timeout, limit)`` requests down and ``(status,
-  result-or-error, local Metrics)`` responses up — results ship the
-  full :class:`~repro.core.result.QueryStats`, span subtrees and
+  result-or-error, local Metrics, (worker_started, worker_finished))``
+  responses up — results ship the full
+  :class:`~repro.core.result.QueryStats`, span subtrees and
   histograms, so ``/metrics``, the slow log and EXPLAIN ANALYZE keep
-  working unchanged;
+  working unchanged.  The two trailing stamps are the worker's
+  ``time.monotonic()`` readings around evaluation; ``CLOCK_MONOTONIC``
+  is system-wide on Linux, so the parent splices them into the query's
+  :class:`~repro.obs.lifecycle.QueryLifecycle` and the pipe-transfer
+  stages fall out as plain differences;
 * a shared ``cancel_seq`` value: the parent cancels the in-flight
   query by publishing its sequence number, which the worker's engine
   observes at its next cooperative budget tick (no per-query Event
@@ -35,6 +40,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import threading
+import time
 
 from repro.core.engine import RingRPQEngine
 from repro.core.result import QueryResult
@@ -84,6 +90,7 @@ def _pool_worker_main(conn, token, worker_id, engine_kwargs,
             conn.close()
             return
         _, seq, query_id, query, timeout, limit = msg
+        started = time.monotonic()
         local = Metrics(span_capacity=64) if obs_enabled else NULL_METRICS
         cancel = _SeqCancelToken(cancel_value, seq)
         spans = local.spans if local.enabled else None
@@ -106,9 +113,11 @@ def _pool_worker_main(conn, token, worker_id, engine_kwargs,
                     spans.end(span)
             if span is not None:
                 span.set(n_results=len(result.pairs))
-            payload = ("ok", result, local if obs_enabled else None)
+            marks = (started, time.monotonic())
+            payload = ("ok", result, local if obs_enabled else None, marks)
         except BaseException as exc:  # noqa: BLE001 - ship to parent
-            payload = ("err", exc, local if obs_enabled else None)
+            marks = (started, time.monotonic())
+            payload = ("err", exc, local if obs_enabled else None, marks)
         try:
             conn.send(payload)
         except Exception:
@@ -121,6 +130,7 @@ def _pool_worker_main(conn, token, worker_id, engine_kwargs,
                     f"for {query_id}"
                 ),
                 None,
+                (started, time.monotonic()),
             ))
 
 
@@ -256,16 +266,27 @@ class ProcessQueryService(QueryService):
         ticket._on_cancel = lambda: slot.cancel(seq)
         if ticket.cancelled:
             slot.cancel(seq)
+        lifecycle = ticket.lifecycle
         try:
             slot.conn.send((
                 "run", seq, ticket.query_id, str(ticket.query),
                 timeout, ticket.limit,
             ))
-            status, payload, shipped = slot.conn.recv()
+            lifecycle.mark("request_serialized")
+            status, payload, shipped, worker_marks = slot.conn.recv()
         except (EOFError, OSError, BrokenPipeError):
             raise self._handle_crash(worker_id, slot) from None
         finally:
             ticket._on_cancel = None
+        # CLOCK_MONOTONIC is system-wide on Linux, so the worker's
+        # stamps slot directly between ours; the gap before
+        # worker_started is the request's pipe transit + queueing in
+        # the worker, the gap after worker_finished the reply's
+        # pickle + pipe transit.
+        started, finished = worker_marks
+        lifecycle.mark("worker_started", t=started)
+        lifecycle.mark("worker_finished", t=finished)
+        lifecycle.mark("reply_deserialized")
         if shipped is not None and local.enabled:
             # Fold the worker's registry (counters, histograms, span
             # subtrees) into the manager thread's local one; _finish
@@ -295,8 +316,13 @@ class ProcessQueryService(QueryService):
             with self._lock:
                 obs.inc("serve.pool.worker_crashes")
                 self._refresh_pool_gauges(obs)
+        # Attach the flight recorder's tail: the audit records of the
+        # queries settled just before the death are the post-mortem
+        # context a crash counter cannot give.
+        flight = (self.flight.records(last=32)
+                  if self.flight is not None else None)
         return WorkerCrashedError(
-            f"repro-serve-proc-{worker_id}", exitcode
+            f"repro-serve-proc-{worker_id}", exitcode, flight=flight
         )
 
     def _teardown_pool(self) -> None:

@@ -41,6 +41,8 @@ from repro.core.engine import RingRPQEngine
 from repro.core.query import RPQ, as_query
 from repro.core.result import QueryResult, QueryStats
 from repro.errors import OverloadedError
+from repro.obs.audit import audit_record
+from repro.obs.lifecycle import QueryLifecycle
 from repro.obs.metrics import Metrics, NULL_METRICS
 from repro.serve.admission import AdmissionController
 from repro.serve.cache import ResultCache
@@ -59,8 +61,8 @@ class Ticket:
     """
 
     __slots__ = ("query_id", "query", "timeout", "limit", "deadline",
-                 "submitted_at", "cancel_event", "_on_cancel", "_done",
-                 "_result", "_error")
+                 "submitted_at", "lifecycle", "cancel_event",
+                 "_on_cancel", "_done", "_result", "_error")
 
     def __init__(self, query_id: str, query: RPQ,
                  timeout: float | None, limit: int | None,
@@ -71,6 +73,10 @@ class Ticket:
         self.limit = limit
         self.deadline = deadline
         self.submitted_at = time.monotonic()
+        # The per-request audit record: monotonic stage marks added as
+        # the query moves submit → queue → worker → settle; readable
+        # after settlement as ``ticket.lifecycle.stage_durations()``.
+        self.lifecycle = QueryLifecycle(query_id, t=self.submitted_at)
         self.cancel_event = threading.Event()
         # Forwarding hook for executors whose cancel signal lives
         # outside this process (the process tier points it at the
@@ -157,6 +163,15 @@ class QueryService:
         its ``query_id``, so log lines join the slow log and span
         trees on the same id.  The writer is thread-safe; the service
         writes outside its own lock.
+    flight:
+        A :class:`~repro.obs.flight.FlightRecorder`; every settled
+        query (cache hits and errors included) appends one bounded
+        audit record — lifecycle stage decomposition, outcome flags,
+        backend, cache verdict, span digest — served live at
+        ``/debug/flight`` and dumped into
+        :class:`~repro.errors.WorkerCrashedError` context by the
+        process tier.  The recorder has its own lock; the service
+        appends outside its own.
     engine:
         Optionally a pre-configured engine over ``index`` (ablations,
         scalar reference, custom prepare-cache size).  Its ``slow_log``
@@ -175,6 +190,7 @@ class QueryService:
         metrics=None,
         slow_log=None,
         query_log=None,
+        flight=None,
         engine=None,
         retry_after: float = 0.05,
     ):
@@ -188,7 +204,12 @@ class QueryService:
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.slow_log = slow_log
         self.query_log = query_log
+        self.flight = flight
         self.started_at = time.monotonic()
+        # Cumulative engine-execution seconds per worker slot, fed by
+        # each query's ``execute`` lifecycle stage; the source for the
+        # per-worker busy-seconds counters and utilization gauges.
+        self._worker_busy = [0.0] * workers
         self.cache = ResultCache(cache_size)
         self.admission = AdmissionController(
             max_pending=max_pending, max_inflight=max_inflight,
@@ -262,23 +283,37 @@ class QueryService:
             # lookup() materialised a fresh QueryResult, so stamping
             # the correlation id never mutates a shared cache entry.
             cached.stats.query_id = query_id
+            ticket = Ticket(query_id, rpq, timeout, limit, deadline)
+            ticket.lifecycle.mark("settled")
+            stages = ticket.lifecycle.stage_durations()
             if obs.enabled:
                 with self._lock:
                     obs.inc("serve.submitted")
                     obs.inc("serve.cache_hits")
                     obs.set_gauge("serve.cache_size", len(self.cache))
+                    for stage, seconds in stages.items():
+                        obs.observe(f"serve.stage.{stage}", seconds,
+                                    exemplar=query_id)
+            if self.flight is not None:
+                self.flight.record(audit_record(
+                    ticket, cached.stats,
+                    n_results=len(cached.pairs),
+                    engine=f"serve/{self.engine.name}",
+                    cache_hit=True,
+                ))
             if self.query_log is not None:
                 self.query_log.log(
                     query_id, str(rpq), cached.stats,
                     n_results=len(cached.pairs),
                     engine=f"serve/{self.engine.name}",
+                    stages=stages,
                 )
-            ticket = Ticket(query_id, rpq, timeout, limit, deadline)
             ticket._settle(cached)
             return ticket
 
-        self.admission.admit()   # raises OverloadedError on rejection
         ticket = Ticket(query_id, rpq, timeout, limit, deadline)
+        self.admission.admit()   # raises OverloadedError on rejection
+        ticket.lifecycle.mark("admitted")
         with self._lock:
             self._tickets[query_id] = ticket
             if obs.enabled:
@@ -362,9 +397,12 @@ class QueryService:
 
         Queries still queued are drained and settled normally before
         the workers exit.  All load gauges (queue depth, in-flight,
-        cache size) are zeroed so a telemetry scrape after shutdown
-        reports no phantom load — a counter survives its process, a
-        gauge must not survive its service.
+        cache size, per-worker utilization, the router's misroute
+        rate) are zeroed so a telemetry scrape after shutdown reports
+        no phantom load — a counter survives its process, a gauge must
+        not survive its service.  (Stage *histograms* and per-worker
+        busy-seconds counters are cumulative and deliberately survive,
+        like every other counter.)
         """
         if self._closed:
             return
@@ -380,6 +418,11 @@ class QueryService:
                 obs.set_gauge("serve.queue_depth", 0)
                 obs.set_gauge("serve.inflight", 0)
                 obs.set_gauge("serve.cache_size", 0)
+                for name in list(obs.gauges):
+                    if name.startswith("serve.worker."):
+                        obs.set_gauge(name, 0)
+                if "router.misroute_rate" in obs.gauges:
+                    obs.set_gauge("router.misroute_rate", 0.0)
 
     def __enter__(self) -> "QueryService":
         return self
@@ -389,12 +432,28 @@ class QueryService:
 
     def stats(self) -> dict:
         """Service-level statistics snapshot."""
-        return {
+        uptime = max(time.monotonic() - self.started_at, 1e-9)
+        out = {
             "workers": self.workers,
             "fingerprint": self._fingerprint,
             "cache": self.cache.snapshot(),
             "admission": self.admission.snapshot(),
+            "workers_detail": [
+                {
+                    "worker": i,
+                    "busy_seconds": busy,
+                    "utilization": min(1.0, busy / uptime),
+                }
+                for i, busy in enumerate(self._worker_busy)
+            ],
         }
+        if self.flight is not None:
+            out["flight"] = {
+                "capacity": self.flight.capacity,
+                "retained": len(self.flight),
+                "total_recorded": self.flight.total_recorded,
+            }
+        return out
 
     @property
     def obs_lock(self) -> threading.Lock:
@@ -439,6 +498,7 @@ class QueryService:
             if item is _SHUTDOWN:
                 return
             key, ticket = item
+            ticket.lifecycle.mark("dequeued")
             if ticket.cancelled:
                 # Cancelled while queued: settle without ever running.
                 self.admission.abandon()
@@ -459,11 +519,23 @@ class QueryService:
             finally:
                 self.admission.finish()
             if error is not None:
+                ticket.lifecycle.mark("settled")
                 with self._lock:
                     self._tickets.pop(ticket.query_id, None)
                     if enabled:
                         service_obs.inc("serve.errors")
                         self._refresh_gauges(service_obs)
+                if local.enabled:
+                    local.reset()
+                if self.flight is not None:
+                    # Errors are exactly what a black box must retain.
+                    self.flight.record(audit_record(
+                        ticket, QueryStats(query_id=ticket.query_id),
+                        n_results=0,
+                        engine=f"serve/{self.engine.name}",
+                        worker_id=worker_id,
+                        error=error,
+                    ))
                 ticket._settle(None, error)
             else:
                 self._finish(
@@ -472,6 +544,7 @@ class QueryService:
                 )
 
     def _evaluate_ticket(self, ticket: Ticket, local, worker_id: int):
+        ticket.lifecycle.mark("dispatched")
         timeout = ticket.timeout
         if ticket.deadline is not None:
             remaining = ticket.deadline - time.monotonic()
@@ -508,6 +581,7 @@ class QueryService:
         kwargs = {}
         if self._engine_takes_query_id:
             kwargs["query_id"] = ticket.query_id
+        ticket.lifecycle.mark("worker_started")
         try:
             result = self.engine.evaluate(
                 ticket.query,
@@ -523,6 +597,7 @@ class QueryService:
             # open span would swallow the next query's spans under it.
             if span is not None:
                 spans.end(span)
+        ticket.lifecycle.mark("worker_finished")
         if span is not None:
             span.set(n_results=len(result.pairs))
         return result
@@ -532,9 +607,28 @@ class QueryService:
         stats = result.stats
         if ran:
             self.cache.store(key, ticket.limit, result)
+        lifecycle = ticket.lifecycle
+        lifecycle.mark("settled")
+        stages = lifecycle.stage_durations()
+        busy = stages.get("execute", 0.0)
+        audit = None
+        if self.flight is not None:
+            # Built before the merge below absorbs (and the reset
+            # clears) the worker's span stack — the digest needs this
+            # query's spans, which only exist in ``local`` right now.
+            audit = audit_record(
+                ticket, stats,
+                n_results=len(result.pairs),
+                engine=f"serve/{self.engine.name}",
+                worker_id=worker_id if ran else None,
+                spans=local.spans if local.enabled else None,
+            )
         obs = self.metrics
+        query_id = ticket.query_id
         with self._lock:
-            self._tickets.pop(ticket.query_id, None)
+            self._tickets.pop(query_id, None)
+            if ran:
+                self._worker_busy[worker_id] += busy
             if obs.enabled:
                 obs.inc("serve.completed")
                 if stats.cancelled:
@@ -542,7 +636,29 @@ class QueryService:
                 if stats.timed_out:
                     obs.inc("serve.timed_out")
                 obs.observe("serve.wait_seconds", waited)
-                obs.observe("serve.query_seconds", stats.elapsed)
+                obs.observe("serve.query_seconds", stats.elapsed,
+                            exemplar=query_id)
+                # The latency decomposition: one observation per
+                # lifecycle stage, each exemplar-linked to this query,
+                # plus the end-to-end total the stages sum to.
+                for stage, seconds in stages.items():
+                    obs.observe(f"serve.stage.{stage}", seconds,
+                                exemplar=query_id)
+                obs.observe("serve.e2e_seconds", lifecycle.total(),
+                            exemplar=query_id)
+                if ran:
+                    obs.inc(f"serve.worker.{worker_id}.queries")
+                    # Busy seconds are cumulative work, i.e. a counter
+                    # (float-valued, like node_cpu_seconds_total).
+                    obs.inc(f"serve.worker.{worker_id}.busy_seconds",
+                            busy)
+                    uptime = max(
+                        time.monotonic() - self.started_at, 1e-9
+                    )
+                    obs.set_gauge(
+                        f"serve.worker.{worker_id}.utilization",
+                        min(1.0, self._worker_busy[worker_id] / uptime),
+                    )
                 obs.merge(local)
                 self._refresh_gauges(obs)
             if local.enabled:
@@ -556,16 +672,22 @@ class QueryService:
                     truncated=stats.truncated,
                     counters=stats.operation_counts(),
                     engine=f"serve/{self.engine.name}",
-                    query_id=ticket.query_id,
+                    query_id=query_id,
                 )
+        if audit is not None:
+            # The recorder has its own lock; append off the service
+            # lock, but before settlement so a caller that just got
+            # its result always finds the record already in the ring.
+            self.flight.record(audit)
         if self.query_log is not None:
             # The writer has its own lock; keep the JSON encoding and
             # file write off the service lock's critical section.
             self.query_log.log(
-                ticket.query_id, str(ticket.query), stats,
+                query_id, str(ticket.query), stats,
                 n_results=len(result.pairs),
                 wait_seconds=waited if ran else None,
                 engine=f"serve/{self.engine.name}",
+                stages=stages,
             )
         ticket._settle(result)
 

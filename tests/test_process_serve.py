@@ -191,3 +191,117 @@ def test_stats_reports_pool_axis(kg_index):
         assert stats["live_workers"] == 2
         assert stats["shm_bytes"] > 0
         assert stats["restarts"] == 0
+
+
+# ----------------------------------------------------------------------
+# Per-request audit plane through the process tier
+# ----------------------------------------------------------------------
+
+
+def test_process_tier_stage_decomposition_covers_e2e(kg_index):
+    """Every settled query's stage durations sum to its end-to-end
+    latency (within 5%), and the process tier reports nonzero
+    serialize/pipe stages — the IPC cost the thread tier never pays."""
+    from repro.obs.flight import FlightRecorder
+
+    flight = FlightRecorder(32)
+    obs = Metrics()
+    with _pool(kg_index, metrics=obs, flight=flight) as service:
+        for query in WORKLOAD:
+            service.evaluate(query, timeout=60)
+    records = flight.records()
+    assert len(records) == len(WORKLOAD)
+    wire = ("request_serialize", "pipe_to_worker", "reply_transfer",
+            "execute")
+    for record in records:
+        stages = record["stages"]
+        total = record["total_seconds"]
+        assert sum(stages.values()) == pytest.approx(
+            total, rel=0.05, abs=1e-6
+        ), stages
+        # Every wire stage was recorded.  A single record may report
+        # 0.0 for a pipe stage — the worker can stamp worker_started
+        # before the parent's post-send() mark lands, and the clamp
+        # attributes the race to the neighbouring stage — so the
+        # nonzero assertion is aggregate, below.
+        for stage in wire:
+            assert stages[stage] >= 0.0
+    for stage in wire:
+        assert sum(r["stages"][stage] for r in records) > 0.0, stage
+    # The same decomposition reached the service histograms.
+    for stage in ("request_serialize", "pipe_to_worker",
+                  "reply_transfer", "execute"):
+        hist = obs.histogram(f"serve.stage.{stage}")
+        assert hist is not None and hist.count == len(WORKLOAD)
+        assert hist.total > 0.0
+
+
+def test_crash_respawn_cycle_in_prometheus_export(kg_index):
+    """``serve.pool.*`` across a crash→respawn cycle, as a scraper
+    sees it: crash counter rises, live-worker gauge recovers to full
+    strength, and close() zeroes the gauges but not the counters."""
+    from repro.obs.export import prometheus_text
+
+    obs = Metrics()
+    service = _pool(kg_index, metrics=obs)
+    try:
+        service.evaluate(WORKLOAD[0], timeout=60)
+        for slot in service._slots:
+            slot.proc.kill()
+            slot.proc.join(5.0)
+        result = None
+        for _ in range(3):
+            try:
+                result = service.evaluate(WORKLOAD[1], timeout=60)
+                break
+            except WorkerCrashedError:
+                pass
+        assert result is not None
+        text = prometheus_text(obs)
+        lines = dict(
+            line.rsplit(" ", 1)
+            for line in text.splitlines()
+            if not line.startswith("#")
+        )
+        assert float(lines["repro_serve_pool_workers"]) == 2
+        assert float(lines["repro_serve_pool_restarts"]) >= 2
+        assert float(lines["repro_serve_pool_worker_crashes_total"]) >= 2
+    finally:
+        service.close()
+    text = prometheus_text(obs)
+    lines = dict(
+        line.rsplit(" ", 1)
+        for line in text.splitlines()
+        if not line.startswith("#")
+    )
+    # Gauges zeroed on close; the crash counter survives as history.
+    assert float(lines["repro_serve_pool_workers"]) == 0
+    assert float(lines["repro_serve_pool_restarts"]) == 0
+    assert float(lines["repro_serve_pool_worker_crashes_total"]) >= 2
+
+
+def test_worker_crash_error_carries_flight_context(kg_index):
+    from repro.obs.flight import FlightRecorder
+
+    flight = FlightRecorder(8)
+    service = _pool(kg_index, metrics=Metrics(), flight=flight)
+    try:
+        service.evaluate(WORKLOAD[0], timeout=60)
+        for slot in service._slots:
+            slot.proc.kill()
+            slot.proc.join(5.0)
+        crash = None
+        for _ in range(3):
+            try:
+                service.evaluate(WORKLOAD[1], timeout=60)
+                break
+            except WorkerCrashedError as err:
+                crash = err
+        assert crash is not None
+        # The error ships the ring's tail: the queries that settled
+        # before the death, with their stage decompositions.
+        assert crash.flight
+        assert any(r["query_id"] == "q1" for r in crash.flight)
+        assert all("stages" in r for r in crash.flight)
+    finally:
+        service.close()

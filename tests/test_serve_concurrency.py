@@ -190,3 +190,60 @@ def test_property_pool_equals_sequential(graph, picks, limit):
     queries = [f"(?x, {EXPRESSIONS[i]}, ?y)" for i in picks]
     assert (_served(index, queries, workers=4, limit=limit)
             == _sequential(index, queries, limit=limit))
+
+
+def test_flight_ring_under_parallel_settlement(kg_index):
+    """Many submitter threads settling concurrently: the flight ring
+    records every settlement exactly once, every retained record's
+    stage durations cover its end-to-end latency, and the exemplar ids
+    in the stage histograms all resolve to real queries."""
+    from repro.obs.flight import FlightRecorder
+
+    n_threads, per_thread = 6, 8
+    flight = FlightRecorder(capacity=16)
+    obs = Metrics()
+    service = QueryService(
+        kg_index, workers=4, cache_size=0, metrics=obs, flight=flight,
+        max_pending=n_threads * per_thread + 8,
+        engine=RingRPQEngine(kg_index, prepare_cache_size=0),
+    )
+    errors: list[BaseException] = []
+
+    def submitter(tid: int) -> None:
+        try:
+            for i in range(per_thread):
+                query = WORKLOAD[(tid + i) % len(WORKLOAD)]
+                service.evaluate(query, timeout=60)
+        except BaseException as exc:  # noqa: BLE001 - surface in main
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=submitter, args=(tid,))
+        for tid in range(n_threads)
+    ]
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        service.close()
+    assert not errors
+    total = n_threads * per_thread
+    assert flight.total_recorded == total
+    records = flight.records()
+    assert len(records) == flight.capacity
+    ids = [r["query_id"] for r in records]
+    assert len(set(ids)) == len(ids), "duplicate settlements in ring"
+    for record in records:
+        stages = record["stages"]
+        assert sum(stages.values()) == pytest.approx(
+            record["total_seconds"], rel=0.05, abs=1e-6
+        )
+    # Aggregate invariants: one observation per settled query, and
+    # every exemplar a real query id of this run.
+    execute = obs.histogram("serve.stage.execute")
+    assert execute is not None and execute.count == total
+    all_ids = {f"q{i}" for i in range(1, total + 1)}
+    for label, _ in execute.exemplars.values():
+        assert label in all_ids

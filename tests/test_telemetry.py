@@ -200,13 +200,15 @@ class TestQueryLog:
         assert [r["query_id"] for r in records] == ["q1", "q2"]
         first, second = records
         assert first == {
-            "ts": 123.0, "query_id": "q1", "query": "(?x, p0, ?y)",
-            "elapsed": 0.5, "n_results": 2, "wait_seconds": 0.01,
-            "engine": "serve/ring",
+            "schema_version": 2, "ts": 123.0, "query_id": "q1",
+            "query": "(?x, p0, ?y)", "backend": "serve/ring",
+            "cache_hit": False, "elapsed": 0.5, "n_results": 2,
+            "wait_seconds": 0.01, "engine": "serve/ring",
         }
         # Outcome flags appear only when set.
         assert second["timed_out"] and second["truncated"]
         assert "cached" not in second and "cancelled" not in second
+        assert second["schema_version"] == 2
         assert writer.written == 2
 
     def test_counters_opt_in(self, tmp_path):
