@@ -181,6 +181,18 @@ def run_trajectory(out_path: str = "BENCH_engine.json",
             workers=STAGES_PARAMS["workers"],
             pool_kinds=tuple(pool_kinds),
         )
+    if pool_kinds:
+        # The network tier's trajectory: seeded open-loop arrivals
+        # against the live front-door socket, per pool kind — the
+        # nominal profile for client-observed tails, the overload
+        # profile to exercise (and record) the fast-reject path.
+        from repro.bench.loadgen import http_load_report
+
+        report["http"] = http_load_report(
+            context.index,
+            [str(query) for query in context.queries],
+            pool_kinds=tuple(pool_kinds),
+        )
     if workers:
         report["workers"] = service_throughput_report(
             context.index,
@@ -305,6 +317,23 @@ def main(argv: "list[str] | None" = None) -> None:
                   f"{burst['max_pending']}): {burst['offered']} offered, "
                   f"{burst['accepted']} accepted, "
                   f"{burst['rejected']} rejected")
+    http_section = report.get("http")
+    if http_section:
+        for kind in sorted(http_section["tiers"]):
+            tier = http_section["tiers"][kind]
+            for name in sorted(tier):
+                profile = tier[name]
+                tails = profile["latency_seconds"]
+                tail_txt = (
+                    f"p50={tails['p50'] * 1e3:.1f}ms "
+                    f"p99={tails['p99'] * 1e3:.1f}ms"
+                    if tails else "no accepted requests"
+                )
+                print(f"  http {kind}/{name}: "
+                      f"offered={profile['offered']} "
+                      f"accepted={profile['accepted']} "
+                      f"rejected={profile['rejected']} "
+                      f"qps={profile['qps']:.1f} {tail_txt}")
 
 
 if __name__ == "__main__":

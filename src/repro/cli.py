@@ -291,7 +291,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     Prometheus exposition, ``.slow`` the slow-query log, ``.quit``
     exits (EOF also exits).  With ``--metrics-port`` the same telemetry
     is additionally served live over HTTP (``/metrics``, ``/healthz``,
-    ``/debug/vars``, ``/debug/profile``) while the loop runs.
+    ``/debug/vars``, ``/debug/profile``) while the loop runs; with
+    ``--http-port`` the query API itself is served over HTTP
+    (``POST /query`` streaming chunked NDJSON pages — see
+    ``docs/http.md``) alongside the REPL.
     """
     from repro.obs.export import prometheus_text
     from repro.obs.metrics import Metrics
@@ -304,6 +307,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
     # The plane owns the query-log writer; hand it to the service.
     service.query_log = plane.query_log
     plane.start()
+    front_door = None
+    if getattr(args, "http_port", None) is not None:
+        from repro.serve.http import HTTPQueryServer
+
+        kwargs = {}
+        if getattr(args, "http_page_size", None):
+            kwargs["default_page_size"] = args.http_page_size
+        front_door = HTTPQueryServer(
+            service, port=args.http_port, **kwargs
+        ).start()
+        print(f"# query API: {front_door.url}/query (NDJSON streaming), "
+              f"{front_door.url}/healthz", file=sys.stderr)
     print(
         f"# serving {args.graph} with {args.workers} worker(s); "
         "one query per line, .quit to exit",
@@ -358,6 +373,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
     finally:
+        # Shutdown ordering: stop accepting HTTP connections first,
+        # then drain the service — a front door stopped after close
+        # would map late submissions to 503s rather than settling them.
+        if front_door is not None:
+            front_door.stop()
         service.close()
         plane.stop()
     return 0
@@ -555,6 +575,15 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--span-capacity", type=int, default=2048,
                    help="spans retained in the service registry "
                         "(0 disables span collection)")
+    v.add_argument("--http-port", type=int, default=None, metavar="PORT",
+                   help="serve the query API over HTTP on this port "
+                        "(POST /query streams NDJSON pages; "
+                        "/submit, /status, /result, /cancel, /healthz, "
+                        "/debug/flight; 0 picks an ephemeral port); "
+                        "the REPL keeps running alongside")
+    v.add_argument("--http-page-size", type=int, default=None,
+                   metavar="N",
+                   help="default NDJSON page size for streamed results")
     v.set_defaults(func=cmd_serve)
 
     qb = sub.add_parser(

@@ -116,6 +116,28 @@ class OverloadedError(ReproError):
         )
 
 
+class ServiceClosedError(ReproError, RuntimeError):
+    """A submission arrived after :meth:`QueryService.close`.
+
+    Shutdown ordering makes this a *normal* condition, not a bug: a
+    network front door drains its connections while the service behind
+    it stops, so late submissions must settle as a typed, catchable
+    rejection (the HTTP tier maps it to ``503 Service Unavailable``)
+    instead of an anonymous ``RuntimeError`` detonating inside an event
+    loop.  Subclasses :class:`RuntimeError` for compatibility with
+    callers that predate the typed form.
+    """
+
+    def __init__(self, detail: str = "service is closed"):
+        super().__init__(detail)
+        self.detail = detail
+
+    def __reduce__(self):
+        # Replay the typed constructor args (not the composed message)
+        # so the error crosses the process boundary intact.
+        return (type(self), (self.detail,))
+
+
 class WorkerCrashedError(ReproError):
     """A serving worker process died while running (or queued for) a query.
 

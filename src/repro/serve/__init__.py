@@ -5,15 +5,18 @@ traverse at once; this package supplies the serving layer that makes
 that operational: a worker pool (:class:`QueryService`), admission
 control with typed overload rejections (:class:`AdmissionController`),
 deadline/cancellation propagation onto the engine's budget ticks, and
-a completeness-aware LRU result cache (:class:`ResultCache`).
+a completeness-aware LRU result cache (:class:`ResultCache`), plus a
+stdlib asyncio network tier (:class:`HTTPQueryServer`) that streams
+answers as chunked NDJSON pages.
 
 See ``docs/serving.md`` for the architecture and the degradation
-contract.
+contract, and ``docs/http.md`` for the wire protocol.
 """
 
 from repro.serve.admission import AdmissionController
 from repro.serve.batch import drain_queries, load_query_file
 from repro.serve.cache import CacheEntry, ResultCache
+from repro.serve.http import HTTPQueryServer
 from repro.serve.keys import (
     index_fingerprint,
     normalize_expr,
@@ -25,6 +28,7 @@ from repro.serve.service import QueryService, Ticket
 __all__ = [
     "AdmissionController",
     "CacheEntry",
+    "HTTPQueryServer",
     "ProcessQueryService",
     "QueryService",
     "ResultCache",

@@ -40,7 +40,7 @@ import time
 from repro.core.engine import RingRPQEngine
 from repro.core.query import RPQ, as_query
 from repro.core.result import QueryResult, QueryStats
-from repro.errors import OverloadedError
+from repro.errors import OverloadedError, ServiceClosedError
 from repro.obs.audit import audit_record
 from repro.obs.lifecycle import QueryLifecycle
 from repro.obs.metrics import Metrics, NULL_METRICS
@@ -62,7 +62,8 @@ class Ticket:
 
     __slots__ = ("query_id", "query", "timeout", "limit", "deadline",
                  "submitted_at", "lifecycle", "cancel_event",
-                 "_on_cancel", "_done", "_result", "_error")
+                 "_on_cancel", "_on_settle", "_done", "_result",
+                 "_error")
 
     def __init__(self, query_id: str, query: RPQ,
                  timeout: float | None, limit: int | None,
@@ -83,6 +84,12 @@ class Ticket:
         # running worker's shared cancel sequence).  Set by the
         # dispatching thread, invoked from whichever thread cancels.
         self._on_cancel = None
+        # Settlement hook for executors that wait without a thread (the
+        # HTTP front door points it at an asyncio future); invoked
+        # exactly once, from whichever thread settles, after the done
+        # event is set.  A hook attached post-settlement must be fired
+        # by the attacher (check ``done()`` after assigning).
+        self._on_settle = None
         self._done = threading.Event()
         self._result: QueryResult | None = None
         self._error: BaseException | None = None
@@ -120,6 +127,9 @@ class Ticket:
         self._result = result
         self._error = error
         self._done.set()
+        hook = self._on_settle
+        if hook is not None:
+            hook()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.done() else (
@@ -263,10 +273,13 @@ class QueryService:
         too (whichever is tighter wins).  Raises
         :class:`OverloadedError` when admission control rejects, and
         parse errors synchronously (a malformed query never occupies a
-        queue slot).
+        queue slot).  After :meth:`close` every submission raises the
+        typed :class:`~repro.errors.ServiceClosedError` (a
+        ``RuntimeError`` subclass) so draining front ends can map late
+        arrivals to a clean 503 instead of crashing.
         """
         if self._closed:
-            raise RuntimeError("service is closed")
+            raise ServiceClosedError()
         rpq = as_query(query)
         if timeout is None:
             timeout = self.default_timeout
@@ -412,6 +425,24 @@ class QueryService:
         if wait:
             for thread in self._threads:
                 thread.join()
+            # A submit that passed the closed check while the sentinels
+            # were being enqueued lands *behind* them and would never
+            # be dequeued — settle such stragglers with the typed
+            # closed error so no waiter hangs on a dead queue.
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is _SHUTDOWN:
+                    continue
+                _, ticket = item
+                self.admission.abandon()
+                with self._lock:
+                    self._tickets.pop(ticket.query_id, None)
+                ticket._settle(None, ServiceClosedError(
+                    "service closed before the query was dequeued"
+                ))
         obs = self.metrics
         if obs.enabled:
             with self._lock:

@@ -1,0 +1,118 @@
+"""Shared plumbing for the HTTP front-door test family.
+
+One place builds a served stack (index → service → HTTP server on an
+ephemeral port) and speaks minimal client HTTP, so the API, fault
+injection, and conformance suites all drive the same wire path
+without each reinventing a client.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from contextlib import contextmanager
+
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import Metrics
+from repro.serve import HTTPQueryServer, QueryService
+
+
+@contextmanager
+def served(index, engine=None, workers: int = 2, max_pending: int = 16,
+           cache_size: int = 0, retention: int = 64, **server_kwargs):
+    """A live (service, server, metrics) stack, torn down afterwards.
+
+    The cache defaults to *off* so every submission exercises the
+    queue path — cache hits settle synchronously in ``submit`` and
+    would bypass exactly the machinery these tests probe.
+    """
+    metrics = Metrics()
+    flight = FlightRecorder(capacity=64)
+    service = QueryService(
+        index, workers=workers, max_pending=max_pending,
+        cache_size=cache_size, metrics=metrics, flight=flight,
+        engine=engine,
+    )
+    server = HTTPQueryServer(service, port=0, retention=retention,
+                             **server_kwargs)
+    server.start()
+    try:
+        yield service, server, metrics
+    finally:
+        server.stop()
+        service.close()
+
+
+def request(server, method: str, path: str, body=None,
+            timeout: float = 30.0):
+    """One request; returns ``(status, headers, raw_body_bytes)``."""
+    if isinstance(body, (dict, list)):
+        body = json.dumps(body).encode("utf-8")
+    conn = http.client.HTTPConnection(server.host, server.port,
+                                      timeout=timeout)
+    try:
+        conn.request(method, path, body=body)
+        resp = conn.getresponse()
+        return resp.status, dict(resp.getheaders()), resp.read()
+    finally:
+        conn.close()
+
+
+def ndjson(raw: bytes) -> list[dict]:
+    """Decode an NDJSON body into its record dicts."""
+    return [json.loads(line) for line in raw.decode("utf-8").splitlines()]
+
+
+def stream_pairs(records: list[dict]) -> list[tuple]:
+    """The pair list carried by a framed NDJSON response."""
+    pairs: list[tuple] = []
+    for record in records:
+        if record["kind"] == "page":
+            pairs.extend(tuple(p) for p in record["pairs"])
+    return pairs
+
+
+def post_query(server, query: str, timeout_ms=None, limit=None,
+               page_size=None, timeout: float = 30.0):
+    """``POST /query``; returns ``(status, headers, records)`` where
+    ``records`` is the decoded NDJSON framing (or the error body)."""
+    body: dict = {"query": query}
+    if timeout_ms is not None:
+        body["timeout_ms"] = timeout_ms
+    if limit is not None:
+        body["limit"] = limit
+    if page_size is not None:
+        body["page_size"] = page_size
+    status, headers, raw = request(server, "POST", "/query", body,
+                                   timeout=timeout)
+    if status == 200:
+        return status, headers, ndjson(raw)
+    return status, headers, json.loads(raw)
+
+
+def raw_connection(server, timeout: float = 10.0) -> socket.socket:
+    """A plain TCP connection for byte-level fault injection."""
+    return socket.create_connection((server.host, server.port),
+                                    timeout=timeout)
+
+
+def send_raw_query(sock: socket.socket, body: dict) -> None:
+    """Write one ``POST /query`` over a raw socket, nothing more."""
+    payload = json.dumps(body).encode("utf-8")
+    head = (
+        f"POST /query HTTP/1.1\r\nHost: t\r\n"
+        f"Content-Length: {len(payload)}\r\n\r\n"
+    ).encode("latin-1")
+    sock.sendall(head + payload)
+
+
+def wait_until(predicate, timeout: float = 5.0, interval: float = 0.01):
+    """Poll ``predicate`` until true; raises on timeout."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"condition not met within {timeout}s")

@@ -1,0 +1,243 @@
+"""The HTTP front door's API surface: endpoints, streaming, headers.
+
+Every test here drives :class:`~repro.serve.http.HTTPQueryServer`
+through a real TCP socket — nothing is called in-process — so what
+passes is the wire contract documented in ``docs/http.md``.  Fault
+injection lives in ``test_http_faults.py``; corpus-vs-oracle
+equivalence in ``test_http_conformance.py``; the page-framing
+algebra in ``test_http_paging.py``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.serve import HTTPQueryServer, QueryService
+from repro.serve.http import reassemble_pages
+from tests.http_utils import (
+    ndjson,
+    post_query,
+    request,
+    served,
+    stream_pairs,
+    wait_until,
+)
+
+pytestmark = pytest.mark.http
+
+
+class TestSyncQuery:
+    def test_streams_header_pages_trailer(self, small_index):
+        with served(small_index) as (service, server, _):
+            status, headers, records = post_query(
+                server, "(?x, p0, ?y)", timeout_ms=10_000, page_size=3
+            )
+        assert status == 200
+        assert headers["Content-Type"] == "application/x-ndjson"
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "header" and kinds[-1] == "trailer"
+        assert all(k == "page" for k in kinds[1:-1])
+        header, trailer = records[0], records[-1]
+        assert header["n_results"] == trailer["n_results"]
+        assert all(r["count"] == len(r["pairs"]) <= 3
+                   for r in records[1:-1])
+        # The framing reassembles to exactly the pair list, in order.
+        pairs = reassemble_pages(records)
+        assert pairs == sorted(pairs)
+        assert len(pairs) == header["n_results"] > 0
+
+    def test_pairs_match_inprocess_service(self, small_index):
+        with served(small_index) as (service, server, _):
+            expected = sorted(service.evaluate("(?x, p1|p2, ?y)").pairs)
+            _, _, records = post_query(server, "(?x, p1|p2, ?y)")
+        assert stream_pairs(records) == expected
+
+    def test_audit_headers_echo_lifecycle(self, small_index):
+        with served(small_index) as (_, server, _):
+            status, headers, records = post_query(server, "(?x, p0, ?y)")
+        assert status == 200
+        assert headers["X-Query-Id"] == records[0]["query_id"]
+        stages = dict(
+            part.split("=")
+            for part in headers["X-Query-Stages"].split(";")
+        )
+        # The thread tier's canonical stage names, in timeline order.
+        assert "queue_wait" in stages and "execute" in stages
+        assert all(float(v) >= 0 for v in stages.values())
+
+    def test_trailer_budget_tags_zero_timeout(self, small_index):
+        with served(small_index) as (_, server, _):
+            status, _, records = post_query(
+                server, "(?x, (p0|p1|p2|p3)+, ?y)", timeout_ms=0
+            )
+        assert status == 200  # degradation contract: partial, not error
+        stats = records[-1]["stats"]
+        if stats["timed_out"]:
+            assert stats["truncated"]
+
+    def test_limit_is_forwarded(self, small_index):
+        with served(small_index) as (_, server, _):
+            _, _, records = post_query(server, "(?x, p0, ?y)", limit=2)
+        assert records[0]["n_results"] <= 2
+        assert records[-1]["stats"]["truncated"] in (True, False)
+
+
+class TestAsyncLifecycle:
+    def test_submit_poll_result_roundtrip(self, small_index):
+        with served(small_index) as (_, server, _):
+            status, headers, raw = request(
+                server, "POST", "/submit",
+                {"query": "(?x, p0, ?y)", "timeout_ms": 10_000},
+            )
+            assert status == 202
+            sub = json.loads(raw)
+            qid = sub["query_id"]
+            assert headers["X-Query-Id"] == qid
+            assert sub["result_url"] == f"/result/{qid}"
+
+            def settled():
+                code, _, body = request(server, "GET", f"/status/{qid}")
+                return code == 200 and json.loads(body)["done"]
+
+            wait_until(settled)
+            code, _, body = request(server, "GET", f"/status/{qid}")
+            st = json.loads(body)
+            assert st["done"] and "stats" in st and "n_results" in st
+            code, headers, raw = request(server, "GET", f"/result/{qid}")
+            assert code == 200
+            records = ndjson(raw)
+            assert len(stream_pairs(records)) == st["n_results"]
+
+    def test_result_cursor_resume(self, small_index):
+        with served(small_index) as (_, server, _):
+            _, _, records = post_query(server, "(?x, p0, ?y)")
+            qid = records[0]["query_id"]
+            full = stream_pairs(records)
+            assert len(full) >= 3
+            # Fetch the suffix from an arbitrary cursor, tiny pages.
+            code, _, raw = request(
+                server, "GET", f"/result/{qid}?cursor=2&page_size=2"
+            )
+            assert code == 200
+            resumed = ndjson(raw)
+            assert resumed[0]["cursor"] == 2
+            assert stream_pairs(resumed) == full[2:]
+            assert all(r["count"] <= 2 for r in resumed[1:-1])
+
+    def test_result_cursor_past_end_is_empty(self, small_index):
+        with served(small_index) as (_, server, _):
+            _, _, records = post_query(server, "(?x, p0, ?y)")
+            qid = records[0]["query_id"]
+            n = records[0]["n_results"]
+            code, _, raw = request(
+                server, "GET", f"/result/{qid}?cursor={n + 10}"
+            )
+        assert code == 200
+        resumed = ndjson(raw)
+        assert [r["kind"] for r in resumed] == ["header", "trailer"]
+
+    def test_unknown_query_id_404(self, small_index):
+        with served(small_index) as (_, server, _):
+            for method, path in (
+                ("GET", "/status/zzz"),
+                ("GET", "/result/zzz"),
+                ("POST", "/cancel/zzz"),
+            ):
+                code, _, raw = request(server, method, path)
+                assert code == 404
+                assert json.loads(raw)["error"] == "unknown_query_id"
+
+    def test_cancel_settled_query_reports_done(self, small_index):
+        with served(small_index) as (_, server, _):
+            _, _, records = post_query(server, "(?x, p0, ?y)")
+            qid = records[0]["query_id"]
+            code, _, raw = request(server, "POST", f"/cancel/{qid}")
+            assert code == 200
+            body = json.loads(raw)
+            assert body["done"] and not body["cancelled"]
+            # DELETE /query/{id} is the same operation.
+            code, _, raw = request(server, "DELETE", f"/query/{qid}")
+            assert code == 200
+
+
+class TestOperationalEndpoints:
+    def test_healthz_reports_service_load(self, small_index):
+        with served(small_index) as (_, server, _):
+            code, _, raw = request(server, "GET", "/healthz")
+            body = json.loads(raw)
+            assert code == 200 and body["status"] == "ok"
+            assert body["workers"] == 2
+            assert "front_door" in body
+            assert body["front_door"]["requests"] >= 1
+
+    def test_flight_ring_visible_over_socket(self, small_index):
+        with served(small_index) as (service, server, _):
+            _, _, records = post_query(server, "(?x, p0, ?y)")
+            qid = records[0]["query_id"]
+
+            def recorded():
+                _, _, raw = request(server, "GET", "/debug/flight")
+                snap = json.loads(raw)
+                return any(r.get("query_id") == qid
+                           for r in snap["records"])
+
+            wait_until(recorded)
+
+    def test_index_page_and_unknown_route(self, small_index):
+        with served(small_index) as (_, server, _):
+            code, headers, raw = request(server, "GET", "/")
+            assert code == 200 and b"/query" in raw
+            code, _, _ = request(server, "GET", "/nope")
+            assert code == 404
+            code, _, _ = request(server, "GET", "/query")
+            assert code == 405
+
+    def test_keep_alive_pipelines_requests(self, small_index):
+        with served(small_index) as (_, server, _):
+            conn = http.client.HTTPConnection(server.host, server.port,
+                                              timeout=10)
+            try:
+                for _ in range(3):
+                    conn.request(
+                        "POST", "/query",
+                        body=json.dumps({"query": "(?x, p0, ?y)"}),
+                    )
+                    resp = conn.getresponse()
+                    assert resp.status == 200
+                    assert stream_pairs(ndjson(resp.read()))
+            finally:
+                conn.close()
+            # All three rode one connection (peak gauge is per-conn).
+            assert server.requests >= 3
+
+
+class TestServerLifecycle:
+    def test_ephemeral_port_and_stats(self, small_index):
+        with served(small_index) as (_, server, _):
+            assert server.port > 0
+            stats = server.stats()
+            assert stats["url"] == server.url
+            assert stats["retention"] == 64
+
+    def test_stop_is_idempotent(self, small_index):
+        service = QueryService(small_index, workers=1)
+        server = HTTPQueryServer(service, port=0).start()
+        server.stop()
+        server.stop()
+        service.close()
+
+    def test_retention_evicts_oldest_settled(self, small_index):
+        with served(small_index, retention=2) as (_, server, _):
+            ids = []
+            for _ in range(3):
+                _, _, records = post_query(server, "(?x, p0, ?y)")
+                ids.append(records[0]["query_id"])
+            # Oldest fell out; the two newest are still addressable.
+            code, _, _ = request(server, "GET", f"/status/{ids[0]}")
+            assert code == 404
+            for qid in ids[1:]:
+                code, _, _ = request(server, "GET", f"/status/{qid}")
+                assert code == 200

@@ -1,0 +1,129 @@
+"""Protocol conformance: the socket answers exactly like the process.
+
+Replays every ``tests/corpus/`` case through a live
+:class:`~repro.serve.http.HTTPQueryServer` socket and holds the wire
+answers to the same contract the in-process harness enforces:
+
+* **bit-identical pairs** — the reassembled NDJSON pages equal the
+  brute-force oracle's sorted pair list *and* the in-process Ticket
+  API's answer for the same query on the same service;
+* **budget tags** — a zero budget over the socket yields the same
+  degradation contract as in-process: a subset of the oracle tagged
+  ``timed_out`` + ``truncated``, or the complete untagged answer when
+  the query finished between budget ticks; a cancelled query's
+  trailer carries ``cancelled`` (or, when cancellation lost the race,
+  the complete untagged answer).
+
+A serialization layer that reordered, deduplicated differently,
+stringified, or dropped tags would fail here and nowhere else.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.ring.builder import RingIndex
+from repro.serve.http import reassemble_pages
+from repro.testing import brute_force_rpq
+from tests.harness import iter_corpus
+from tests.http_utils import (
+    post_query,
+    request,
+    served,
+    stream_pairs,
+    wait_until,
+)
+
+pytestmark = pytest.mark.http
+
+CORPUS = list(iter_corpus())
+assert CORPUS, "tests/corpus is empty — the conformance suite needs it"
+
+
+def _corpus_params():
+    for name, graph, queries in CORPUS:
+        for i, query in enumerate(queries):
+            yield pytest.param(graph, query, id=f"{name}[{i}]")
+
+
+@pytest.mark.parametrize("graph,query", _corpus_params())
+def test_socket_pairs_bit_identical_to_oracle(graph, query):
+    index = RingIndex.from_graph(graph)
+    oracle = sorted(brute_force_rpq(graph, query))
+    with served(index, workers=1) as (service, server, _):
+        in_process = sorted(service.evaluate(query, timeout=60).pairs)
+        status, _, records = post_query(server, query,
+                                        timeout_ms=60_000, page_size=7)
+    assert status == 200
+    wire = reassemble_pages(records)
+    assert wire == oracle
+    assert wire == in_process
+    stats = records[-1]["stats"]
+    assert not stats["timed_out"] and not stats["truncated"]
+    assert not stats["cancelled"]
+
+
+@pytest.mark.parametrize("graph,query", _corpus_params())
+def test_socket_budget_tags_match_degradation_contract(graph, query):
+    index = RingIndex.from_graph(graph)
+    oracle = set(brute_force_rpq(graph, query))
+    with served(index, workers=1) as (_, server, _):
+        status, _, records = post_query(server, query, timeout_ms=0)
+    assert status == 200  # zero budget degrades, never errors
+    pairs = set(stream_pairs(records))
+    stats = records[-1]["stats"]
+    assert pairs <= oracle
+    if stats["timed_out"]:
+        assert stats["truncated"]
+    else:
+        # Finished between budget ticks: must be the full answer.
+        assert pairs == oracle
+
+
+@pytest.mark.parametrize(
+    "graph,query", list(_corpus_params())[:4],
+)
+def test_socket_cancel_tag_contract(graph, query):
+    index = RingIndex.from_graph(graph)
+    oracle = set(brute_force_rpq(graph, query))
+    with served(index, workers=1) as (_, server, _):
+        _, _, raw = request(server, "POST", "/submit",
+                            {"query": str(query)})
+        qid = json.loads(raw)["query_id"]
+        request(server, "POST", f"/cancel/{qid}")
+
+        def settled():
+            code, _, body = request(server, "GET", f"/status/{qid}")
+            return code == 200 and json.loads(body)["done"]
+
+        wait_until(settled)
+        code, _, body = request(server, "GET", f"/result/{qid}")
+    assert code == 200
+    records = [json.loads(line)
+               for line in body.decode("utf-8").splitlines()]
+    pairs = set(stream_pairs(records))
+    stats = records[-1]["stats"]
+    assert pairs <= oracle
+    if not stats["cancelled"]:
+        # Cancellation lost the race: the answer must be complete.
+        assert pairs == oracle
+
+
+@pytest.mark.parametrize("graph,query", list(_corpus_params())[:4])
+def test_socket_limit_truncation_contract(graph, query):
+    index = RingIndex.from_graph(graph)
+    oracle = sorted(brute_force_rpq(graph, query))
+    if len(oracle) < 2:
+        pytest.skip("needs at least two answers to truncate")
+    limit = len(oracle) - 1
+    with served(index, workers=1) as (_, server, _):
+        status, _, records = post_query(server, query, limit=limit)
+    assert status == 200
+    pairs = stream_pairs(records)
+    assert len(pairs) <= limit
+    assert set(pairs) <= set(oracle)
+    stats = records[-1]["stats"]
+    if not stats["truncated"]:
+        assert set(pairs) == set(oracle)

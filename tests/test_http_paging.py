@@ -1,0 +1,122 @@
+"""Property tests for the NDJSON page framing.
+
+The framing helpers in :mod:`repro.serve.http` are pure functions, so
+the streaming invariant can be checked exhaustively without a socket:
+for *any* result set, *any* page size, and *any* starting cursor, the
+framed records reassemble to exactly the sorted pair suffix — and a
+client that resumes mid-stream with different page sizes per fetch
+stitches together the identical list.  Every record round-trips
+through real JSON, because the wire does.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.serve.http import (  # noqa: E402
+    clamp_page_size,
+    frame_records,
+    iter_pages,
+    reassemble_pages,
+    DEFAULT_PAGE_SIZE,
+    MAX_PAGE_SIZE,
+)
+
+pytestmark = [pytest.mark.http, pytest.mark.hypothesis]
+
+_STATS = {"elapsed_seconds": 0.0, "timed_out": False,
+          "truncated": False, "cancelled": False, "cached": False}
+
+_pair = st.tuples(st.text(max_size=8), st.text(max_size=8))
+_pairs = st.lists(_pair, max_size=120, unique=True)
+
+
+def _wire(records):
+    """Round-trip each record through real JSON, like the socket."""
+    return [json.loads(json.dumps(record)) for record in records]
+
+
+class TestFraming:
+    @settings(max_examples=120, deadline=None)
+    @given(pairs=_pairs, page_size=st.integers(1, 40),
+           cursor=st.integers(0, 140))
+    def test_any_split_reassembles_exactly(self, pairs, page_size,
+                                           cursor):
+        spairs = sorted(pairs)
+        records = _wire(frame_records(
+            "q1", "(?x, p, ?y)", spairs, _STATS,
+            cursor=cursor, page_size=page_size,
+        ))
+        assert reassemble_pages(records) == spairs[cursor:]
+        # Page bounds hold for every page record.
+        for record in records[1:-1]:
+            assert 1 <= record["count"] <= page_size
+
+    @settings(max_examples=80, deadline=None)
+    @given(n=st.integers(0, 150), data=st.data())
+    def test_cursor_resume_stitches_identically(self, n, data):
+        spairs = sorted((f"s{i:03d}", f"o{i:03d}") for i in range(n))
+        collected: list = []
+        at = 0
+        while True:
+            page_size = data.draw(st.integers(1, 17), label="page_size")
+            records = _wire(frame_records(
+                "q1", "(?x, p, ?y)", spairs, _STATS,
+                cursor=at, page_size=page_size,
+            ))
+            pages = records[1:-1]
+            if not pages:
+                break
+            # A real client may stop after any number of pages of a
+            # fetch and resume from the last next_cursor it saw.
+            take = data.draw(
+                st.integers(1, len(pages)), label="pages_taken"
+            )
+            for record in pages[:take]:
+                collected.extend(tuple(p) for p in record["pairs"])
+            nxt = pages[take - 1]["next_cursor"]
+            if nxt is None:
+                break
+            at = nxt
+        assert collected == spairs
+
+    @settings(max_examples=60, deadline=None)
+    @given(pairs=_pairs, page_size=st.integers(1, 40))
+    def test_iter_pages_partitions_without_overlap(self, pairs,
+                                                   page_size):
+        spairs = sorted(pairs)
+        seen: list = []
+        last_next = 0
+        for at, page, nxt in iter_pages(spairs, 0, page_size):
+            assert at == last_next
+            assert 1 <= len(page) <= page_size
+            seen.extend(page)
+            last_next = at + len(page)
+            if nxt is not None:
+                assert nxt == last_next
+        assert seen == spairs
+
+
+class TestPageSizeClamp:
+    def test_default_and_cap(self):
+        assert clamp_page_size(None) == DEFAULT_PAGE_SIZE
+        assert clamp_page_size(5) == 5
+        assert clamp_page_size(MAX_PAGE_SIZE * 3) == MAX_PAGE_SIZE
+        with pytest.raises(ValueError):
+            clamp_page_size(0)
+
+    def test_trailer_counts_pages(self):
+        records = frame_records("q", "(?x, p, ?y)",
+                                [("a", "b")] * 0, _STATS)
+        assert records[-1]["pages"] == 0
+        records = frame_records(
+            "q", "(?x, p, ?y)",
+            sorted((str(i), str(i)) for i in range(10)),
+            _STATS, page_size=3,
+        )
+        assert records[-1]["pages"] == 4
