@@ -109,16 +109,23 @@ def engine_bytes_per_edge(name: str, index: RingIndex) -> float:
     return model.bytes_per_edge()
 
 
-def working_space_bytes_per_edge(index: RingIndex,
-                                 nfa_bits: int = 16) -> float:
-    """Query-time working space of the ring engine per original edge.
+def query_working_set_bytes(index: RingIndex, nfa_bits: int = 16) -> float:
+    """Absolute query-time working space of the ring engine, in bytes.
 
     Mirrors §5: the ``D`` visited array is one ``nfa_bits`` cell per
     node plus the lazy-initialisation structure, and ``B`` one cell per
-    predicate — both tiny relative to the index.
+    predicate — both tiny relative to the index.  This is the
+    pre-execution estimate EXPLAIN prints; per-edge normalisation lives
+    in :func:`working_space_bytes_per_edge`.
     """
-    completed = len(index.ring)
-    original = max(1, completed // 2) if completed else 1
     d_bits = index.dictionary.num_nodes * (nfa_bits + 2)
     b_bits = index.dictionary.num_predicates * nfa_bits
-    return (d_bits + b_bits) / 8 / original
+    return (d_bits + b_bits) / 8
+
+
+def working_space_bytes_per_edge(index: RingIndex,
+                                 nfa_bits: int = 16) -> float:
+    """Query-time working space of the ring engine per original edge."""
+    completed = len(index.ring)
+    original = max(1, completed // 2) if completed else 1
+    return query_working_set_bytes(index, nfa_bits) / original

@@ -64,6 +64,90 @@ STAGES_PARAMS = dict(
     workers=2,
 )
 
+#: How many prior runs' headline numbers the report's ``history``
+#: section retains — enough for a commit-over-commit trend, small
+#: enough that BENCH_engine.json stays reviewable.
+HISTORY_LIMIT = 8
+
+
+def space_section(context) -> dict:
+    """The ``space`` section: bits per completed triple for each tier.
+
+    Audits the built ring with the space-audit plane
+    (:mod:`repro.obs.space`), the sparse-matrix backend when scipy is
+    available, and the snapshot segment layout (from the manifest, no
+    live segment needed) — making space regressions visible in the
+    trajectory exactly like latency regressions.
+    """
+    from repro.errors import ConstructionError
+    from repro.ring.snapshot import snapshot_index
+
+    index = context.index
+    n = len(index.ring)
+
+    def tier(nbytes: int) -> dict:
+        return {
+            "bytes": int(nbytes),
+            "bits_per_triple": nbytes * 8 / max(1, n),
+        }
+
+    ring_node = index.ring.measure("ring")
+    section = {
+        "n_triples": n,
+        "ring": {
+            **tier(ring_node.nbytes),
+            "breakdown": {
+                child.name: child.nbytes for child in ring_node.children
+            },
+        },
+    }
+    try:
+        from repro.matrix.matrices import PredicateMatrices
+
+        store = PredicateMatrices.from_index(index)
+    except (ImportError, ConstructionError):
+        store = None
+    if store is not None:
+        section["matrix"] = tier(store.measure("matrix").nbytes)
+    manifest, _ = snapshot_index(index, include_matrices=store is not None)
+    section["snapshot"] = {
+        **tier(manifest["total_bytes"]),
+        "buffers": len(manifest["buffers"]),
+    }
+    return section
+
+
+def _carry_history(old_report: "dict | None") -> "list[dict]":
+    """The ``history`` list for a new report: the old report's history
+    plus its own headline, capped at :data:`HISTORY_LIMIT`.
+
+    This is the bookkeeping fix for the trajectory file being
+    overwritten wholesale each run — the last N runs' headline numbers
+    (now including ring bits/triple) survive the rewrite.
+    """
+    if not isinstance(old_report, dict) or "overall" not in old_report:
+        return []
+    history = [
+        entry for entry in old_report.get("history", ())
+        if isinstance(entry, dict)
+    ]
+    overall = old_report.get("overall") or {}
+    tails = overall.get("percentiles") or {}
+    meta = old_report.get("meta") or {}
+    space = old_report.get("space") or {}
+    history.append({
+        "label": meta.get("label"),
+        "count": overall.get("count"),
+        "mean_seconds": overall.get("mean_seconds"),
+        "p50_seconds": tails.get("p50"),
+        "p99_seconds": tails.get("p99"),
+        "timeouts": overall.get("timeouts"),
+        "ring_bits_per_triple": (space.get("ring") or {}).get(
+            "bits_per_triple"
+        ),
+    })
+    return history[-HISTORY_LIMIT:]
+
 
 def matrix_section(context) -> "dict | None":
     """The ``matrix`` section: both alternate backends on the pinned
@@ -165,6 +249,7 @@ def run_trajectory(out_path: str = "BENCH_engine.json",
     alternates = matrix_section(context)
     if alternates is not None:
         report["matrix"] = alternates
+    report["space"] = space_section(context)
     if workers is None:
         workers = WORKERS_PARAMS["workers"]
     if pool_kinds is None:
@@ -206,7 +291,15 @@ def run_trajectory(out_path: str = "BENCH_engine.json",
             pool_workers=WORKERS_PARAMS["pool_workers"],
             burst_pending=WORKERS_PARAMS["burst_pending"],
         )
-    Path(out_path).write_text(
+    out = Path(out_path)
+    old_report = None
+    if out.exists():
+        try:
+            old_report = json.loads(out.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            old_report = None
+    report["history"] = _carry_history(old_report)
+    out.write_text(
         json.dumps(report, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
@@ -273,6 +366,23 @@ def main(argv: "list[str] | None" = None) -> None:
             print(f"  {name}: mean={overall['mean_seconds']:.4f}s "
                   f"p95={tails['p95']:.4f}s p99={tails['p99']:.4f}s "
                   f"timeouts={overall['timeouts']}")
+    space = report.get("space")
+    if space:
+        parts = []
+        for key in ("ring", "matrix", "snapshot"):
+            tier = space.get(key)
+            if tier:
+                parts.append(f"{key}={tier['bits_per_triple']:.2f}")
+        print(f"  space (bits/triple over {space['n_triples']} triples): "
+              + ", ".join(parts))
+    history = report.get("history")
+    if history:
+        last = history[-1]
+        mean = last.get("mean_seconds")
+        mean_text = "n/a" if mean is None else f"{mean * 1e3:.2f} ms"
+        print(f"  history: {len(history)} prior run(s) retained "
+              f"(last: {last.get('label') or 'unlabeled'}, "
+              f"mean {mean_text})")
     stages = report.get("stages")
     if stages:
         for kind in sorted(stages["tiers"]):

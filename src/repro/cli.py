@@ -171,6 +171,85 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_space(args: argparse.Namespace) -> int:
+    """The ``repro space`` report: bit-level space audit of every tier.
+
+    Audits the built ring (per-column, per-level breakdown), the sparse
+    backend when scipy is available, and the snapshot-segment layout,
+    then cross-checks the serving form: a ring *attached* over the
+    snapshot payload must audit within a few percent of the segment's
+    byte size (the delta is the segment's int64-widened rank
+    directories vs the built ring's uint32 ones, plus alignment
+    padding).
+    """
+    import json
+
+    from repro.obs.space import audit_index, audit_manifest
+    from repro.ring.snapshot import _write_payload, attach_index, \
+        snapshot_index
+
+    index = _load_index(args.graph, args.symmetric)
+    try:
+        from repro.matrix.matrices import PredicateMatrices
+
+        PredicateMatrices.from_index(index)
+    except ImportError:
+        pass
+    n = len(index.ring)
+    root = audit_index(index)
+    # Ring-only snapshot: the segment the attached ring is checked
+    # against must hold exactly the ring's buffers (the matrix tier is
+    # audited from the index tree above).
+    manifest, buffers = snapshot_index(index, include_matrices=False)
+    snap = audit_manifest(manifest)
+    # Attach a view-backed ring over the snapshot payload: its audit is
+    # the serving tier's in-memory form, directly comparable to the
+    # segment size.
+    payload = bytearray(manifest["total_bytes"])
+    _write_payload(manifest, buffers, payload)
+    attached = attach_index(manifest, payload)
+    attached_ring = attached.ring.measure("ring")
+    ring_node = root.find("index.ring")
+    segment_bytes = int(manifest["total_bytes"])
+    agreement = attached_ring.nbytes / segment_bytes if segment_bytes else 1.0
+    totals = {
+        "n_triples": n,
+        "ring_bytes": ring_node.nbytes,
+        "ring_bits_per_triple": ring_node.bits_per_triple(n),
+        "snapshot_bytes": segment_bytes,
+        "snapshot_bits_per_triple": snap.bits_per_triple(n),
+        "attached_ring_bytes": attached_ring.nbytes,
+        "attached_ring_segment_agreement": agreement,
+    }
+    matrix_node = root.find("index.matrix")
+    if matrix_node is not None:
+        totals["matrix_bytes"] = matrix_node.nbytes
+        totals["matrix_bits_per_triple"] = matrix_node.bits_per_triple(n)
+    if args.json:
+        print(json.dumps({
+            "totals": totals,
+            "index": root.to_dict(n),
+            "snapshot": snap.to_dict(n),
+            "attached_ring": attached_ring.to_dict(n),
+        }, indent=2))
+        return 0
+    print(root.format_tree(n))
+    print()
+    print(snap.format_tree(n))
+    print()
+    print(f"ring (built)      : {ring_node.nbytes:,} bytes "
+          f"({ring_node.bits_per_triple(n):.2f} bits/triple)")
+    if matrix_node is not None:
+        print(f"matrix (CSR)      : {matrix_node.nbytes:,} bytes "
+              f"({matrix_node.bits_per_triple(n):.2f} bits/triple)")
+    print(f"snapshot segment  : {segment_bytes:,} bytes "
+          f"({snap.bits_per_triple(n):.2f} bits/triple)")
+    print(f"ring (attached)   : {attached_ring.nbytes:,} bytes — "
+          f"{agreement:.1%} of the segment (remainder: 64-byte "
+          "alignment padding)")
+    return 0
+
+
 def _build_service(args: argparse.Namespace, metrics=None, slow_log=None,
                    query_log=None):
     from repro.obs.flight import FlightRecorder
@@ -341,6 +420,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 continue
             if line == ".slow":
                 print(slow_log.format_table())
+                continue
+            if line == ".space":
+                from repro.obs.space import audit_service
+
+                with service.obs_lock:
+                    tree = audit_service(service)
+                print(tree.format_tree(len(service.index.ring)))
                 continue
             if line == ".vars":
                 import json
@@ -514,6 +600,16 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("graph")
     s.add_argument("--symmetric", nargs="*", default=[])
     s.set_defaults(func=cmd_stats)
+
+    sp = sub.add_parser(
+        "space",
+        help="bit-level space audit: ring, matrix, snapshot tiers",
+    )
+    sp.add_argument("graph")
+    sp.add_argument("--symmetric", nargs="*", default=[])
+    sp.add_argument("--json", action="store_true",
+                    help="machine-readable audit (trees + totals)")
+    sp.set_defaults(func=cmd_space)
 
     def _serve_common(sp) -> None:
         sp.add_argument("--workers", type=int, default=4)

@@ -104,6 +104,38 @@ class PredicateMatrices:
             total += m.indptr.nbytes + m.indices.nbytes + m.data.nbytes
         return total * 8
 
+    def measure(self, name: str = "matrix"):
+        """Space-audit tree: per-predicate CSR triplets (indptr, indices,
+        data) so the audit can localise which predicates dominate."""
+        from repro.obs.space import SpaceNode
+
+        children = []
+        for pid in sorted(self._matrices):
+            m = self._matrices[pid]
+            children.append(
+                SpaceNode(
+                    f"p{pid}",
+                    children=[
+                        SpaceNode("indptr", m.indptr.nbytes, kind="buffer",
+                                  detail={"dtype": str(m.indptr.dtype)}),
+                        SpaceNode("indices", m.indices.nbytes, kind="buffer",
+                                  detail={"dtype": str(m.indices.dtype)}),
+                        SpaceNode("data", m.data.nbytes, kind="buffer",
+                                  detail={"dtype": str(m.data.dtype)}),
+                    ],
+                    kind="csr_matrix",
+                    detail={"nnz": int(m.nnz)},
+                )
+            )
+        return SpaceNode(
+            name,
+            nbytes=0 if not children else None,
+            children=children,
+            kind="predicate_matrices",
+            detail={"num_nodes": self.num_nodes,
+                    "predicates": len(self._matrices)},
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         nnz = sum(m.nnz for m in self._matrices.values())
         return (f"PredicateMatrices({len(self._matrices)} predicates, "

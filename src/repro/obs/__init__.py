@@ -45,7 +45,12 @@ this subpackage makes that accounting first-class:
   flags, backend, cache verdict and a span-tree digest;
 * :mod:`repro.obs.flight` — :class:`FlightRecorder`, the always-on
   bounded ring of the last N settled queries' audit records
-  (``/debug/flight``, worker-crash post-mortem context).
+  (``/debug/flight``, worker-crash post-mortem context);
+* :mod:`repro.obs.space` — the space-audit plane: :class:`SpaceNode`
+  trees assembled from every storage structure's ``measure()`` hook
+  (ring columns, CSR matrices, snapshot segments, serving-tier mutable
+  state), published as ``repro_space_bytes{component=...}`` gauges,
+  ``/debug/space`` and the ``repro space`` CLI.
 
 Operation *counters* of the engine itself (nodes visited vs pruned per
 §4.1–§4.3 phase) live in :class:`repro.core.result.QueryStats` and are
@@ -62,7 +67,7 @@ from repro.obs.instrument import (
     instrument_ring,
 )
 from repro.obs.audit import audit_record, span_digest
-from repro.obs.export import prometheus_text
+from repro.obs.export import label_key, prometheus_text
 from repro.obs.flight import FlightRecorder
 from repro.obs.histogram import LogHistogram
 from repro.obs.httpd import TelemetryServer
@@ -73,6 +78,15 @@ from repro.obs.querylog import QueryLogWriter, read_query_log
 from repro.obs.sampler import ResourceSampler
 from repro.obs.sampling_profiler import SamplingProfiler
 from repro.obs.slowlog import SlowQueryEntry, SlowQueryLog
+from repro.obs.space import (
+    SpaceNode,
+    audit_index,
+    audit_manifest,
+    audit_metrics,
+    audit_service,
+    deep_getsizeof,
+    publish_space_gauges,
+)
 from repro.obs.spans import Span, SpanStack
 from repro.obs.timeseries import TimeSeries
 
@@ -92,17 +106,25 @@ __all__ = [
     "SlowQueryEntry",
     "SlowQueryLog",
     "Span",
+    "SpaceNode",
     "SpanStack",
     "TelemetryServer",
     "TimeSeries",
     "TraceEvent",
+    "audit_index",
+    "audit_manifest",
+    "audit_metrics",
     "audit_record",
+    "audit_service",
+    "deep_getsizeof",
     "instrument_bitvector",
     "instrument_index",
     "instrument_matrix",
     "instrument_ring",
+    "label_key",
     "profile_query",
     "prometheus_text",
+    "publish_space_gauges",
     "read_query_log",
     "span_digest",
 ]

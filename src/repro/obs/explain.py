@@ -67,6 +67,8 @@ def plan_dict(index, query, engine=None) -> dict:
         dictionary.predicate_label(pid): automaton.state_mask_str(mask)
         for pid, mask in sorted(b_masks.items())
     }
+    from repro.bench.space import query_working_set_bytes
+
     plan["estimate"] = {
         "edges": estimate.edges,
         "touched_nodes": estimate.touched_nodes,
@@ -75,6 +77,11 @@ def plan_dict(index, query, engine=None) -> dict:
         "backward_steps": estimate.backward_steps,
         "storage_ops": estimate.storage_ops,
         "modeled_seconds": estimate.modeled_seconds,
+        # Pre-execution working-set estimate (§5): the D visited array
+        # sized by this automaton's state count plus the B table.
+        "working_set_bytes": int(query_working_set_bytes(
+            index, nfa_bits=max(16, automaton.num_states)
+        )),
     }
     return plan
 
@@ -122,6 +129,8 @@ def format_plan(index, query, engine=None) -> str:
         f"  storage ops       : {est['storage_ops']}",
         f"  modeled time      : {est['modeled_seconds'] * 1e3:.3f} ms "
         "(ring @ 60ns/op)",
+        f"  working set       : {est['working_set_bytes']:,} bytes "
+        "(D visited array + B table)",
     ]
     return "\n".join(lines)
 

@@ -49,6 +49,46 @@ def _escape_label(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"')
 
 
+def unescape_label(value: str) -> str:
+    """Inverse of the exposition-format label escaping (for tests and
+    scrape round-trips): processes ``\\\\`` and ``\\"`` sequentially."""
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value) and value[i + 1] in ('\\', '"'):
+            out.append(value[i + 1])
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def label_key(family: str, **labels: object) -> str:
+    """Registry key for one labelled gauge sample.
+
+    The flat :class:`~repro.obs.metrics.Metrics` gauge registry maps
+    string keys to floats; a labelled sample (the space-audit plane's
+    ``space.bytes{component="index.ring"}``) encodes its label set into
+    the key in exposition syntax, already escaped.  The exporter then
+    renders the family name once per ``# TYPE`` line and each key as its
+    own sample.  Label values are escaped here — callers pass raw
+    strings.
+    """
+    if not labels:
+        return family
+    inner = ",".join(
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in sorted(labels.items())
+    )
+    return f"{family}{{{inner}}}"
+
+
+#: A gauge key carrying an encoded label set: ``family{name="value"}``.
+_LABELED_KEY = re.compile(r"^(?P<family>[^{]+)\{(?P<labels>.*)\}$")
+
+
 def _histogram_lines(full_name: str, hist: LogHistogram) -> list[str]:
     lines = [
         f"# TYPE {full_name} histogram",
@@ -93,10 +133,19 @@ def prometheus_text(metrics, prefix: str = "repro") -> str:
         lines.append(f"{full} {counters[name]}")
 
     gauges = getattr(metrics, "gauges", None) or {}
+    typed_gauges: set[str] = set()
     for name in sorted(gauges):
-        full = f"{prefix}_{_sanitize(name)}"
-        lines.append(f"# TYPE {full} gauge")
-        lines.append(f"{full} {_format_value(gauges[name])}")
+        labeled = _LABELED_KEY.match(name)
+        if labeled:
+            full = f"{prefix}_{_sanitize(labeled.group('family'))}"
+            sample = f"{full}{{{labeled.group('labels')}}}"
+        else:
+            full = f"{prefix}_{_sanitize(name)}"
+            sample = full
+        if full not in typed_gauges:
+            typed_gauges.add(full)
+            lines.append(f"# TYPE {full} gauge")
+        lines.append(f"{sample} {_format_value(gauges[name])}")
 
     phases = metrics.phase_seconds
     if phases:

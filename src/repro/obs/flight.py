@@ -63,6 +63,22 @@ class FlightRecorder:
             out = out[-last:]
         return out
 
+    def measure(self, name: str = "flight"):
+        """Space-audit node: deep heap bytes of the retained records."""
+        from repro.obs.space import SpaceNode, deep_getsizeof
+
+        with self._lock:
+            records = list(self._ring)
+        return SpaceNode(
+            name,
+            children=[
+                SpaceNode("records", deep_getsizeof(records), kind="ring",
+                          detail={"count": len(records)}),
+            ],
+            kind="flight_recorder",
+            detail={"capacity": self.capacity},
+        )
+
     def snapshot(self) -> dict:
         """JSON-ready view for the ``/debug/flight`` endpoint."""
         with self._lock:

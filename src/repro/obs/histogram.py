@@ -235,6 +235,22 @@ class LogHistogram:
             }
         return out
 
+    def measure(self, name: str = "histogram"):
+        """Space-audit node: the sparse bucket table and exemplar map."""
+        from repro.obs.space import SpaceNode, deep_getsizeof
+
+        return SpaceNode(
+            name,
+            children=[
+                SpaceNode("buckets", deep_getsizeof(self.buckets),
+                          kind="dict", detail={"count": len(self.buckets)}),
+                SpaceNode("exemplars", deep_getsizeof(self.exemplars),
+                          kind="dict", detail={"count": len(self.exemplars)}),
+            ],
+            kind="log_histogram",
+            detail={"observations": self.count},
+        )
+
     def __len__(self) -> int:
         return self.count
 

@@ -18,7 +18,11 @@ exposes it *while the service runs*, over plain
 * ``GET /debug/flight`` — the flight recorder's ring of the last N
   settled queries' audit records (lifecycle stage decomposition,
   outcome flags, backend, cache verdict, span digest), each carrying
-  the ``query_id`` the histogram exemplars and query log join on.
+  the ``query_id`` the histogram exemplars and query log join on;
+* ``GET /debug/space`` — the space-audit tree
+  (:func:`repro.obs.space.audit_service` over the live service):
+  bytes, share-of-parent and bits-per-triple for every storage
+  component, the same numbers the ``repro_space_bytes`` gauges carry.
 
 The server runs ``ThreadingHTTPServer.serve_forever`` on one daemon
 thread; request handlers take the shared registry lock only long
@@ -71,6 +75,7 @@ class TelemetryServer:
         host: str = "127.0.0.1",
         port: int = 0,
         prefix: str = "repro",
+        space=None,
     ):
         self.metrics = metrics
         self.lock = lock if lock is not None else threading.Lock()
@@ -79,6 +84,9 @@ class TelemetryServer:
         self.profiler = profiler
         self.slow_log = slow_log
         self.flight = flight
+        #: Optional zero-arg callable returning the /debug/space JSON
+        #: body; defaults to auditing ``service`` live on each request.
+        self.space = space
         self.prefix = prefix
         self.started_at = time.monotonic()
         self.requests = 0
@@ -140,9 +148,30 @@ class TelemetryServer:
     # ------------------------------------------------------------------
 
     def render_metrics(self) -> str:
-        """The ``/metrics`` Prometheus document."""
+        """The ``/metrics`` Prometheus document.
+
+        When a live service is attached, the ``repro_space_bytes``
+        gauges are re-audited first, so every scrape carries the same
+        numbers ``/debug/space`` would report at that moment.
+        """
+        self._refresh_space_gauges()
         with self.lock:
             return prometheus_text(self.metrics, prefix=self.prefix)
+
+    def _refresh_space_gauges(self) -> None:
+        service = self.service
+        if service is None or not getattr(self.metrics, "enabled", True):
+            return
+        from repro.obs.space import audit_service, publish_space_gauges
+
+        try:
+            with self.lock:
+                node = audit_service(service)
+                publish_space_gauges(self.metrics, node)
+        except Exception:
+            # A scrape racing a service close must not take /metrics
+            # down; the previously published gauges keep rendering.
+            pass
 
     def render_healthz(self) -> dict:
         """The ``/healthz`` JSON body."""
@@ -198,6 +227,17 @@ class TelemetryServer:
         if self.profiler is None:
             return ""
         return self.profiler.collapsed()
+
+    def render_space(self) -> "dict | None":
+        """The ``/debug/space`` JSON body (None without a source)."""
+        if self.space is not None:
+            return self.space()
+        if self.service is None:
+            return None
+        from repro.obs.space import space_report
+
+        with self.lock:
+            return space_report(self.service)
 
     def render_flight(self) -> "dict | None":
         """The ``/debug/flight`` JSON body (None without a recorder)."""
@@ -256,6 +296,14 @@ class TelemetryServer:
                         else:
                             self._send(200, "application/json",
                                        json.dumps(body, indent=2) + "\n")
+                    elif path == "/debug/space":
+                        body = server.render_space()
+                        if body is None:
+                            self._send(404, "text/plain; charset=utf-8",
+                                       "no space-audit source attached\n")
+                        else:
+                            self._send(200, "application/json",
+                                       json.dumps(body, indent=2) + "\n")
                     elif path == "/":
                         index = "\n".join((
                             "repro telemetry endpoints:",
@@ -264,6 +312,7 @@ class TelemetryServer:
                             "  /debug/vars     full JSON snapshot",
                             "  /debug/profile  collapsed stacks",
                             "  /debug/flight   last-N query audit ring",
+                            "  /debug/space    space-audit tree (bytes)",
                         )) + "\n"
                         self._send(200, "text/plain; charset=utf-8", index)
                     else:

@@ -206,5 +206,24 @@ class RingIndex:
         n = max(1, len(self.ring))
         return self.ring.size_in_bits() / 8 / n
 
+    def measure(self, name: str = "index"):
+        """Space-audit tree: ring columns + dictionary, plus the sparse
+        backend when it has already been compiled for this index (the
+        audit never forces a compile)."""
+        from repro.obs.space import SpaceNode
+
+        children = [
+            self.ring.measure("ring"),
+            SpaceNode("dictionary", self.dictionary.size_in_bits() // 8,
+                      kind="dictionary",
+                      detail={"nodes": self.dictionary.num_nodes,
+                              "predicates": self.dictionary.num_predicates}),
+        ]
+        store = getattr(self, "_matrix_store", None)
+        if store is not None:
+            children.append(store.measure("matrix"))
+        return SpaceNode(name, children=children, kind="index",
+                         detail={"n_triples": len(self.ring)})
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RingIndex({self.ring!r})"

@@ -114,6 +114,24 @@ class BoundaryArray:
             return self._plain.nbytes * 8
         return self._ef.size_in_bits()
 
+    def measure(self, name: str = "boundary"):
+        """Space-audit node, reporting which form backs the array.
+
+        The lazy ``_py`` decode cache is excluded by the library-wide
+        mirror convention.
+        """
+        from repro.obs.space import SpaceNode
+
+        if self._plain is not None:
+            child = SpaceNode("plain_int64", self._plain.nbytes, kind="buffer",
+                              detail={"dtype": str(self._plain.dtype)})
+            form = "plain-int64"
+        else:
+            child = self._ef.measure("elias_fano")
+            form = "elias-fano"
+        return SpaceNode(name, children=[child], kind="boundary_array",
+                         detail={"form": form, "entries": len(self)})
+
 
 class Ring:
     """BWT-style index over a set of integer triples.
@@ -454,6 +472,33 @@ class Ring:
         if self.L_o is not None:
             total += self.L_o.size_in_bits_model()
         return total
+
+    def measure(self, name: str = "ring"):
+        """Space-audit tree: per-column wavelet matrices and boundary
+        arrays, telescoping exactly to the ring's audited total."""
+        from repro.obs.space import SpaceNode
+
+        children = [
+            self.L_p.measure("L_p"),
+            self.L_s.measure("L_s"),
+            self.C_o.measure("C_o"),
+            self.C_p.measure("C_p"),
+        ]
+        if self.L_o is not None:
+            children.append(self.L_o.measure("L_o"))
+        if self.C_s is not None:
+            children.append(self.C_s.measure("C_s"))
+        return SpaceNode(
+            name,
+            children=children,
+            kind="ring",
+            detail={
+                "n": self._n,
+                "num_nodes": self._num_nodes,
+                "num_predicates": self._num_preds,
+                "object_column": self.L_o is not None,
+            },
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -370,6 +370,17 @@ class SharedIndexHandle:
         """OS-level name of the segment (under ``/dev/shm`` on Linux)."""
         return self._shm.name
 
+    def measure(self, name: str = "shm_segment"):
+        """Space-audit tree of the live segment: the manifest's buffer
+        layout (alignment padding accounted explicitly), so the tree's
+        total equals :attr:`nbytes` — the ``/dev/shm`` file size modulo
+        the kernel's final page rounding."""
+        from repro.obs.space import audit_manifest
+
+        node = audit_manifest(self.manifest, name)
+        node.detail["segment"] = self._shm.name
+        return node
+
     def token(self) -> dict:
         """A picklable attach token: segment name plus manifest."""
         return {"shm": self._shm.name, "manifest": self.manifest}

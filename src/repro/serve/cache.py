@@ -38,15 +38,31 @@ from repro.core.result import QueryResult, QueryStats
 
 
 class CacheEntry:
-    """One stored answer set."""
+    """One stored answer set.
 
-    __slots__ = ("pairs", "truncated", "limit")
+    ``nbytes`` is a deep heap estimate of the pair set, computed once at
+    construction (entries are immutable) so cache-wide byte accounting
+    stays O(1) per store/evict instead of re-walking entries.
+    """
+
+    __slots__ = ("pairs", "truncated", "limit", "nbytes")
 
     def __init__(self, pairs: frozenset, truncated: bool,
                  limit: int | None):
         self.pairs = pairs
         self.truncated = truncated
         self.limit = limit
+        from repro.obs.space import deep_getsizeof
+
+        self.nbytes = deep_getsizeof(pairs)
+
+    def measure(self, name: str = "entry"):
+        """Space-audit leaf for this entry."""
+        from repro.obs.space import SpaceNode
+
+        return SpaceNode(name, self.nbytes, kind="cache_entry",
+                         detail={"pairs": len(self.pairs),
+                                 "truncated": self.truncated})
 
 
 class ResultCache:
@@ -67,6 +83,9 @@ class ResultCache:
         self.misses = 0
         self.evictions = 0
         self.rejected_stores = 0
+        # Running sum of entry nbytes; maintained under _lock by
+        # store/evict/invalidate so reads are O(1).
+        self._nbytes = 0
 
     # ------------------------------------------------------------------
 
@@ -119,10 +138,15 @@ class ResultCache:
         )
         with self._lock:
             entries = self._entries
+            replaced = entries.get((key, entry_limit))
+            if replaced is not None:
+                self._nbytes -= replaced.nbytes
             entries[(key, entry_limit)] = entry
+            self._nbytes += entry.nbytes
             entries.move_to_end((key, entry_limit))
             while len(entries) > self.capacity:
-                entries.popitem(last=False)
+                _, evicted = entries.popitem(last=False)
+                self._nbytes -= evicted.nbytes
                 self.evictions += 1
         return True
 
@@ -137,6 +161,7 @@ class ResultCache:
         with self._lock:
             n = len(self._entries)
             self._entries.clear()
+            self._nbytes = 0
             return n
 
     # ------------------------------------------------------------------
@@ -147,13 +172,36 @@ class ResultCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    @property
+    def nbytes(self) -> int:
+        """Deep heap bytes of all retained entries (O(1))."""
+        with self._lock:
+            return self._nbytes
+
+    def measure(self, name: str = "cache"):
+        """Space-audit node: retained entry bytes + live statistics."""
+        from repro.obs.space import SpaceNode
+
+        with self._lock:
+            nbytes = self._nbytes
+            size = len(self._entries)
+        return SpaceNode(
+            name,
+            children=[SpaceNode("entries", nbytes, kind="cache_entries",
+                                detail={"count": size})],
+            kind="result_cache",
+            detail={"capacity": self.capacity},
+        )
+
     def snapshot(self) -> dict:
         """Plain-dict statistics view."""
         with self._lock:
             size = len(self._entries)
+            nbytes = self._nbytes
         return {
             "capacity": self.capacity,
             "size": size,
+            "bytes": nbytes,
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hit_rate,

@@ -47,7 +47,7 @@ from repro.core.result import QueryResult
 from repro.errors import ReproError, WorkerCrashedError
 from repro.obs.metrics import Metrics, NULL_METRICS
 from repro.ring.snapshot import SharedIndexHandle, attach_token
-from repro.serve.service import QueryService, Ticket
+from repro.serve.service import _LOAD_GAUGE_PREFIXES, QueryService, Ticket
 
 _JOIN_TIMEOUT = 5.0
 
@@ -342,8 +342,10 @@ class ProcessQueryService(QueryService):
         The process tier always waits for its manager threads — worker
         teardown while a manager still dispatches would look like a
         crash.  After this returns the shared-memory segment is
-        unlinked; ``serve.pool.*`` gauges are zeroed along with the
-        base class's load gauges.
+        unlinked; the ``serve.pool.*`` gauges fall under the base
+        class's registry-driven load-gauge sweep, so no explicit
+        zeroing is needed here (nothing refreshes them after the
+        workers stop).
         """
         if self._closed:
             return
@@ -352,10 +354,13 @@ class ProcessQueryService(QueryService):
             self._teardown_pool()
         obs = self.metrics
         if obs.enabled:
+            # Re-run the sweep after teardown: a crash detected between
+            # the base close and slot.stop() refreshes serve.pool.*
+            # gauges, and those must not survive the service either.
             with self._lock:
-                obs.set_gauge("serve.pool.workers", 0)
-                obs.set_gauge("serve.pool.restarts", 0)
-                obs.set_gauge("serve.pool.shm_bytes", 0)
+                for name in list(obs.gauges):
+                    if name.startswith(_LOAD_GAUGE_PREFIXES):
+                        obs.set_gauge(name, 0)
 
     def stats(self) -> dict:
         """Base stats plus the pool axis (shm bytes, restarts)."""

@@ -50,6 +50,14 @@ from repro.serve.keys import index_fingerprint, query_cache_key
 
 _SHUTDOWN = object()
 
+#: Every gauge under these prefixes is a point-in-time *load* level and
+#: is zeroed by :meth:`QueryService.close` in one registry-driven sweep
+#: — regardless of which tier (threads, process pool, HTTP front door,
+#: router, cache) registered it.  Keeping this list short and
+#: prefix-based is the fix for the gauge-lifecycle asymmetry where each
+#: new tier had to remember to zero its own gauges ad hoc.
+_LOAD_GAUGE_PREFIXES = ("serve.", "router.")
+
 
 class Ticket:
     """Handle on one submitted query.
@@ -403,6 +411,7 @@ class QueryService:
             with self._lock:
                 obs.inc("serve.cache_invalidations")
                 obs.set_gauge("serve.cache_size", 0)
+                obs.set_gauge("serve.cache.bytes", 0)
         return dropped
 
     def close(self, wait: bool = True) -> None:
@@ -446,14 +455,21 @@ class QueryService:
         obs = self.metrics
         if obs.enabled:
             with self._lock:
+                # Registry-driven sweep: *every* load gauge any tier
+                # registered (serve.worker.*, serve.pool.*, serve.http.*,
+                # serve.cache.*, router.*) is zeroed, so new gauges can
+                # never be forgotten here again.  Space gauges
+                # (space.bytes{...}) deliberately survive: they describe
+                # the index, which outlives the service.
+                for name in list(obs.gauges):
+                    if name.startswith(_LOAD_GAUGE_PREFIXES):
+                        obs.set_gauge(name, 0)
+                # The canonical load trio must exist at zero even when
+                # the service closed before any query registered them —
+                # a post-mortem scrape reads them unconditionally.
                 obs.set_gauge("serve.queue_depth", 0)
                 obs.set_gauge("serve.inflight", 0)
                 obs.set_gauge("serve.cache_size", 0)
-                for name in list(obs.gauges):
-                    if name.startswith("serve.worker."):
-                        obs.set_gauge(name, 0)
-                if "router.misroute_rate" in obs.gauges:
-                    obs.set_gauge("router.misroute_rate", 0.0)
 
     def __enter__(self) -> "QueryService":
         return self
@@ -517,6 +533,7 @@ class QueryService:
         obs.set_gauge("serve.queue_depth", self.admission.pending)
         obs.set_gauge("serve.inflight", self.admission.inflight)
         obs.set_gauge("serve.cache_size", len(self.cache))
+        obs.set_gauge("serve.cache.bytes", self.cache.nbytes)
 
     def _worker_loop(self, worker_id: int) -> None:
         service_obs = self.metrics

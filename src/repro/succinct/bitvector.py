@@ -300,6 +300,55 @@ class BitVector:
         """Space model of an sdsl-style build: ``n`` payload + 25% rank."""
         return self._n + self._n // 4
 
+    def measure(self, name: str = "bitvector"):
+        """Space-audit node: payload words and rank directory, separately.
+
+        Counts each numpy buffer exactly once.  A view-constructed
+        vector (:meth:`from_packed`) aliases ``_words``/``_cum`` onto
+        the caller's ``words_ext``/``cum64`` buffers, so the sentinel
+        word is attributed to ``words`` via ``words_ext`` and nothing is
+        double counted; a built vector that has materialised its batch
+        mirrors reports them as extra ``batch_*`` leaves.  The
+        Python-int mirrors are decode caches of the same information
+        and are excluded by the library-wide convention.
+        """
+        from repro.obs.space import SpaceNode
+
+        aliased = self._words_ext is not None and np.shares_memory(
+            self._words_ext, self._words
+        )
+        if aliased:
+            # View path: one shared buffer per role, sentinel included.
+            children = [
+                SpaceNode("words", self._words_ext.nbytes, kind="buffer",
+                          detail={"dtype": "uint64", "sentinel_words": 1}),
+                SpaceNode("rank_directory", self._cum.nbytes, kind="buffer",
+                          detail={"dtype": str(self._cum.dtype)}),
+            ]
+        else:
+            children = [
+                SpaceNode("words", self._words.nbytes, kind="buffer",
+                          detail={"dtype": "uint64"}),
+                SpaceNode("rank_directory", self._cum.nbytes, kind="buffer",
+                          detail={"dtype": str(self._cum.dtype)}),
+            ]
+            if self._words_ext is not None:
+                children.append(
+                    SpaceNode("batch_words", self._words_ext.nbytes,
+                              kind="buffer",
+                              detail={"dtype": "uint64",
+                                      "note": "lazy batch-kernel payload copy"})
+                )
+            if self._cum64 is not None and self._cum64 is not self._cum:
+                children.append(
+                    SpaceNode("batch_rank_directory", self._cum64.nbytes,
+                              kind="buffer",
+                              detail={"dtype": "int64",
+                                      "note": "lazy int64-widened directory"})
+                )
+        return SpaceNode(name, children=children, kind="bitvector",
+                         detail={"n": self._n, "view": aliased})
+
     # ------------------------------------------------------------------
     # Diagnostics
     # ------------------------------------------------------------------

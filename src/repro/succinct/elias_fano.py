@@ -111,6 +111,24 @@ class EliasFano:
         ))
         return int(self._n * per_item * 1.25)
 
+    def measure(self, name: str = "elias_fano"):
+        """Space-audit node: packed low halves + upper-bits bitvector."""
+        from repro.obs.space import SpaceNode
+
+        return SpaceNode(
+            name,
+            children=[
+                self._lows.measure("lows"),
+                self._highs.measure("highs"),
+            ],
+            kind="elias_fano",
+            detail={
+                "n": self._n,
+                "universe": self._universe,
+                "low_bits": self._low_bits,
+            },
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"EliasFano(n={self._n}, universe={self._universe}, "

@@ -96,5 +96,19 @@ class PackedIntArray:
         """Actually allocated bits (includes the single pad word)."""
         return self._words.nbytes * 8
 
+    def measure(self, name: str = "packed_int_array"):
+        """Space-audit node: the packed word buffer (pad word included)."""
+        from repro.obs.space import SpaceNode
+
+        return SpaceNode(
+            name,
+            children=[
+                SpaceNode("words", self._words.nbytes, kind="buffer",
+                          detail={"dtype": "uint64", "pad_words": 1}),
+            ],
+            kind="packed_int_array",
+            detail={"n": self._n, "width": self._width},
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PackedIntArray(n={self._n}, width={self._width})"

@@ -660,6 +660,40 @@ class WaveletMatrix:
         c_array = (self._sigma + 1) * max(1, (self._n + 1).bit_length())
         return payload + c_array
 
+    def measure(self, name: str = "wavelet_matrix"):
+        """Space-audit node: per-level bitvectors plus the symbol tables.
+
+        Unlike :meth:`size_in_bits` (which pins the paper's Table-2
+        accounting and omits the derived ``class_cum`` prefix sums), the
+        audit counts every allocated buffer, ``class_cum`` included, so
+        audited totals telescope to real memory.
+        """
+        from repro.obs.space import SpaceNode
+
+        children = [
+            bv.measure(f"level{i}") for i, bv in enumerate(self._levels)
+        ]
+        children.append(
+            SpaceNode(
+                "tables",
+                children=[
+                    SpaceNode("counts", self._counts.nbytes, kind="buffer",
+                              detail={"dtype": "int64"}),
+                    SpaceNode("class_cum", self._class_cum.nbytes,
+                              kind="buffer", detail={"dtype": "int64"}),
+                    SpaceNode("bottom_start", self._bottom_start.nbytes,
+                              kind="buffer", detail={"dtype": "int64"}),
+                ],
+                kind="symbol_tables",
+            )
+        )
+        return SpaceNode(
+            name,
+            children=children,
+            kind="wavelet_matrix",
+            detail={"n": self._n, "sigma": self._sigma, "height": self._height},
+        )
+
     def _check_symbol(self, symbol: int) -> None:
         if not 0 <= symbol < self._sigma:
             raise ValueError(
